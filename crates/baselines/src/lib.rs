@@ -1,0 +1,26 @@
+//! `baselines` — the comparison LU implementations of Section 8:
+//!
+//! * [`lu2d`] — ScaLAPACK-style 2D block-cyclic LU with partial pivoting,
+//!   in two flavours ([`lu2d::Variant::LibSci`], [`lu2d::Variant::Slate`]),
+//! * [`candmc`] — CANDMC-style 2.5D communication-avoiding LU with
+//!   tournament pivoting and physical row swapping,
+//! * [`models`] — the analytic Table 2 cost models of all four libraries.
+//!
+//! All run on the same `simnet` simulated machine as COnfLUX and count
+//! communication the same way, so the comparisons of Figures 6–7 are
+//! apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod candmc;
+pub mod lu2d;
+pub mod models;
+
+pub use candmc::{factorize_candmc, CandmcConfig, CandmcRun};
+pub use lu2d::{factorize_2d, Lu2dConfig, Lu2dRun, Variant};
+
+pub mod lu1d;
+pub use lu1d::{factorize_1d_threaded, Lu1dRun};
+
+pub mod lu2d_threaded;
+pub use lu2d_threaded::{factorize_2d_threaded, Lu2dThreadedRun};

@@ -1,0 +1,338 @@
+//! 2D block-cyclic right-looking LU with partial pivoting — the
+//! ScaLAPACK algorithm that both Cray LibSci and (with a tile layout)
+//! SLATE implement. Communication volume per rank is `N²/√P + O(N²/P)`
+//! (Table 2), dominated by the L/U panel broadcasts along process
+//! rows/columns.
+//!
+//! Numerics run on the orchestrator's global view (they are exactly
+//! `denselin`'s blocked LU); *communication* is counted per the 2D
+//! block-cyclic ownership of every fragment, reproducing pdgetrf's
+//! pattern: per-column pivot allreduce, physical row swaps, panel
+//! broadcast along rows, U broadcast along columns.
+
+use denselin::blockcyclic::BlockCyclic2D;
+use denselin::lu::lu_unblocked;
+use denselin::matrix::Matrix;
+use denselin::trsm::trsm_lower_left;
+use simnet::network::Network;
+use simnet::stats::CommStats;
+use simnet::topology::Grid3D;
+
+use conflux::tiles::Mode;
+
+/// Which 2D library flavour to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Cray LibSci / ScaLAPACK: user-specified panel width (commonly 64),
+    /// row-major process grid.
+    LibSci,
+    /// SLATE: tile layout with small default tiles, column-major process
+    /// grid (slightly better for non-square grids, as the paper observes).
+    Slate,
+}
+
+/// Configuration of a 2D LU run.
+#[derive(Clone, Debug)]
+pub struct Lu2dConfig {
+    /// Matrix order.
+    pub n: usize,
+    /// Panel / tile width.
+    pub nb: usize,
+    /// Process grid rows.
+    pub pr: usize,
+    /// Process grid cols.
+    pub pc: usize,
+    /// Library flavour.
+    pub variant: Variant,
+    /// Dense or Phantom.
+    pub mode: Mode,
+    /// Seed for synthetic pivots in Phantom mode.
+    pub seed: u64,
+}
+
+impl Lu2dConfig {
+    /// Standard configuration for `p` ranks: the squarest grid the library
+    /// would greedily pick, with the variant's default block size.
+    pub fn for_ranks(n: usize, p: usize, variant: Variant, mode: Mode) -> Self {
+        let (pr, pc) = simnet::topology::squarest_2d(p);
+        let nb = match variant {
+            Variant::LibSci => 64.min(n).max(1),
+            Variant::Slate => 32.min(n).max(1),
+        };
+        // keep at least a few panels so the pattern is exercised
+        let nb = nb.min((n / 4).max(1));
+        Self {
+            n,
+            nb,
+            pr,
+            pc,
+            variant,
+            mode,
+            seed: 0x2d,
+        }
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.pr * self.pc
+    }
+}
+
+/// Result of a 2D LU run.
+pub struct Lu2dRun {
+    /// Communication record.
+    pub stats: CommStats,
+    /// Factors (Dense mode): packed like [`denselin::lu::LuFactorization`].
+    pub factors: Option<denselin::lu::LuFactorization>,
+}
+
+/// Run the 2D algorithm.
+pub fn factorize_2d(cfg: &Lu2dConfig, a: Option<&Matrix>) -> Lu2dRun {
+    let n = cfg.n;
+    let (pr, pc) = (cfg.pr, cfg.pc);
+    let p = pr * pc;
+    let topo = Grid3D::new(pr, pc, 1);
+    let mut net = Network::new(p);
+    let map = BlockCyclic2D::new(n, n, cfg.nb, cfg.nb, pr, pc);
+
+    let mut lu = a.cloned();
+    if cfg.mode == Mode::Dense {
+        assert!(lu.is_some(), "Dense mode requires the input matrix");
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    let rank_of = |i: usize, j: usize| topo.rank_of(i, j, 0);
+    let owner_row = |g: usize| map.rows.owner(g);
+    let owner_col = |g: usize| map.cols.owner(g);
+
+    let mut kb = 0;
+    let mut rng_state = cfg.seed;
+    while kb < n {
+        let b = cfg.nb.min(n - kb);
+        let panel_pc = owner_col(kb); // process column holding the panel
+
+        // ---- panel factorization with partial pivoting ----
+        // numerics: factor the global panel; counting: per-column pivot
+        // allreduce over the pr ranks of the panel process column, pivot
+        // row broadcast, and in-panel row swap.
+        let panel_pivots: Vec<usize> = if let Some(m) = lu.as_mut() {
+            let panel = m.block(kb, kb, n - kb, b);
+            let pf = lu_unblocked(&panel).expect("panel singular");
+            // local pivot indices -> global rows (relative to kb)
+            let pivots: Vec<usize> = (0..b).map(|i| kb + pf.perm[i]).collect();
+            // apply the panel permutation to full rows of the matrix
+            apply_block_permutation(m, &mut perm, &mut sign, kb, &pf.perm);
+            m.set_block(kb, kb, &pf.lu);
+            pivots
+        } else {
+            // Phantom: synthetic pivots spread over remaining rows
+            (0..b)
+                .map(|i| {
+                    rng_state = rng_state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    kb + i + (rng_state >> 33) as usize % (n - kb - i)
+                })
+                .collect()
+        };
+        // counting for the panel phase
+        let col_group = topo.column_group(panel_pc, 0);
+        for (j, &piv) in panel_pivots.iter().enumerate() {
+            // pivot search: allreduce of (value, index)
+            net.allreduce(&col_group, 2, "panel:pivot-allreduce");
+            // pivot row segment broadcast within the process column
+            net.broadcast(&col_group, (b - j) as u64, "panel:pivot-row-bcast");
+            // swap within panel columns if the rows live on different ranks
+            let target = kb + j;
+            if owner_row(piv) != owner_row(target) {
+                let src = rank_of(owner_row(piv), panel_pc);
+                let dst = rank_of(owner_row(target), panel_pc);
+                net.send(src, dst, b as u64, "panel:swap");
+                net.send(dst, src, b as u64, "panel:swap");
+            }
+        }
+
+        // ---- laswp: apply the b swaps across the rest of the matrix ----
+        for (j, &piv) in panel_pivots.iter().enumerate() {
+            let target = kb + j;
+            if owner_row(piv) == owner_row(target) {
+                continue;
+            }
+            // full row (width n - b: everything outside the panel) split
+            // over the pc process columns; both rows move.
+            let per_col = ((n - b) / pc).max(1) as u64;
+            for jc in 0..pc {
+                let srow = rank_of(owner_row(piv), jc);
+                let trow = rank_of(owner_row(target), jc);
+                net.send(srow, trow, per_col, "laswp");
+                net.send(trow, srow, per_col, "laswp");
+            }
+        }
+
+        let trailing_rows = n - kb - b;
+        let trailing_cols = n - kb - b;
+
+        // ---- U panel: L00^{-1} * A01, then broadcast down columns ----
+        if trailing_cols > 0 {
+            if let Some(m) = lu.as_mut() {
+                let l00 = m.block(kb, kb, b, b);
+                let mut a01 = m.block(kb, kb + b, b, trailing_cols);
+                trsm_lower_left(&l00, &mut a01, true);
+                m.set_block(kb, kb + b, &a01);
+            }
+            // the pivot block row (b x trailing) lives on process row
+            // owner_row(kb); each owner broadcasts its share down its column
+            let urow = owner_row(kb);
+            for jc in 0..pc {
+                let share = (trailing_cols / pc) as u64 * b as u64;
+                let group = topo.column_group(jc, 0);
+                let root = rank_of(urow, jc);
+                net.broadcast_from(root, &group, share, "u-bcast");
+            }
+        }
+
+        // ---- L panel broadcast along rows ----
+        if trailing_rows > 0 && trailing_cols > 0 {
+            for ir in 0..pr {
+                let share = (trailing_rows / pr) as u64 * b as u64;
+                let group = topo.row_group(ir, 0);
+                let root = rank_of(ir, panel_pc);
+                net.broadcast_from(root, &group, share, "l-bcast");
+            }
+            // ---- trailing update (local) ----
+            if let Some(m) = lu.as_mut() {
+                let l10 = m.block(kb + b, kb, trailing_rows, b);
+                let a01 = m.block(kb, kb + b, b, trailing_cols);
+                let mut a11 = m.block(kb + b, kb + b, trailing_rows, trailing_cols);
+                denselin::gemm::gemm(&mut a11, -1.0, &l10, &a01, 1.0);
+                m.set_block(kb + b, kb + b, &a11);
+            }
+        }
+
+        kb += b;
+    }
+
+    let factors = lu.map(|m| denselin::lu::LuFactorization { lu: m, perm, sign });
+    Lu2dRun {
+        stats: net.stats,
+        factors,
+    }
+}
+
+/// Apply a panel-local permutation (as produced by `lu_unblocked` on the
+/// sub-panel starting at global row `kb`) to the full rows of `m` outside
+/// the panel columns and to the permutation bookkeeping.
+fn apply_block_permutation(
+    m: &mut Matrix,
+    perm: &mut [usize],
+    sign: &mut f64,
+    kb: usize,
+    panel_perm: &[usize],
+) {
+    let rows = panel_perm.len();
+    let n = m.cols();
+    let mut saved: Vec<Vec<f64>> = Vec::with_capacity(rows);
+    let mut saved_perm = Vec::with_capacity(rows);
+    for i in 0..rows {
+        saved.push(m.row(kb + i).to_vec());
+        saved_perm.push(perm[kb + i]);
+    }
+    for (i, &src) in panel_perm.iter().enumerate() {
+        m.row_mut(kb + i).copy_from_slice(&saved[src]);
+        perm[kb + i] = saved_perm[src];
+    }
+    *sign *= denselin::lu::permutation_sign(panel_perm);
+    let _ = n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_2d_correct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, p) in [(32, 4), (48, 6), (64, 16)] {
+            let a = Matrix::random(&mut rng, n, n);
+            let mut cfg = Lu2dConfig::for_ranks(n, p, Variant::LibSci, Mode::Dense);
+            cfg.nb = 8;
+            let run = factorize_2d(&cfg, Some(&a));
+            let f = run.factors.unwrap();
+            assert!(f.residual(&a) < 1e-10, "n={n} p={p} res={}", f.residual(&a));
+        }
+    }
+
+    #[test]
+    fn dense_matches_reference_lu_pivots() {
+        // the simulated algorithm IS partial pivoting, so pivot choice must
+        // agree with the serial reference
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::random(&mut rng, 40, 40);
+        let mut cfg = Lu2dConfig::for_ranks(40, 4, Variant::LibSci, Mode::Dense);
+        cfg.nb = 10;
+        let run = factorize_2d(&cfg, Some(&a));
+        let reference = denselin::lu::lu_unblocked(&a).unwrap();
+        assert_eq!(run.factors.unwrap().perm, reference.perm);
+    }
+
+    #[test]
+    fn phantom_counts_without_data() {
+        let cfg = Lu2dConfig::for_ranks(256, 16, Variant::Slate, Mode::Phantom);
+        let run = factorize_2d(&cfg, None);
+        assert!(run.factors.is_none());
+        assert!(run.stats.total_sent() > 0);
+        let phases = run.stats.phases();
+        assert!(phases.contains(&"l-bcast"));
+        assert!(phases.contains(&"u-bcast"));
+        assert!(phases.contains(&"laswp"));
+    }
+
+    #[test]
+    fn volume_scales_like_n_squared_over_sqrt_p() {
+        // strong scaling: per-rank volume ~ N^2/sqrt(P): quadrupling P
+        // should roughly halve per-rank volume
+        let n = 512;
+        let run4 = factorize_2d(
+            &Lu2dConfig::for_ranks(n, 4, Variant::LibSci, Mode::Phantom),
+            None,
+        );
+        let run16 = factorize_2d(
+            &Lu2dConfig::for_ranks(n, 16, Variant::LibSci, Mode::Phantom),
+            None,
+        );
+        let per4 = run4.stats.total_sent() as f64 / 4.0;
+        let per16 = run16.stats.total_sent() as f64 / 16.0;
+        let ratio = per4 / per16;
+        assert!(
+            (1.4..3.0).contains(&ratio),
+            "expected ~2x per-rank reduction, got {ratio} (per4={per4} per16={per16})"
+        );
+    }
+
+    #[test]
+    fn slate_and_libsci_volumes_similar() {
+        let n = 512;
+        let p = 16;
+        let l = factorize_2d(
+            &Lu2dConfig::for_ranks(n, p, Variant::LibSci, Mode::Phantom),
+            None,
+        );
+        let s = factorize_2d(
+            &Lu2dConfig::for_ranks(n, p, Variant::Slate, Mode::Phantom),
+            None,
+        );
+        let ratio = l.stats.total_sent() as f64 / s.stats.total_sent() as f64;
+        assert!((0.5..2.0).contains(&ratio), "LibSci/SLATE ratio {ratio}");
+    }
+
+    #[test]
+    fn phantom_synthetic_pivots_in_range() {
+        // the LCG-based picks must stay within the active submatrix
+        let cfg = Lu2dConfig::for_ranks(128, 4, Variant::LibSci, Mode::Phantom);
+        // executing without panics is the assertion (debug asserts active)
+        let _ = factorize_2d(&cfg, None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! row masking vs swapping, replication depth `c`, blocking parameter `v`,
+//! Processor Grid Optimization on/off, and the broadcast algorithm.
+//!
+//! Each ablation *also prints* the measured volume difference once, so
+//! `cargo bench` output doubles as the ablation record in EXPERIMENTS.md.
+
+use conflux::grid::{choose_grid, LuGrid};
+use conflux::{factorize, ConfluxConfig, PivotStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::BcastAlgo;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_ablation_summary() {
+    PRINT_ONCE.call_once(|| {
+        println!("\n=== ablation volume summary (N=1024, printed once) ===");
+        let n = 1024;
+        let v = 16;
+
+        // 1. masking vs swapping
+        let grid = LuGrid::new(64, 4, 4);
+        let mask = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+        let mut swap_cfg = ConfluxConfig::phantom(n, v, grid);
+        swap_cfg.pivot_strategy = PivotStrategy::Swapping;
+        let swap = factorize(&swap_cfg, None);
+        println!(
+            "pivoting: masking {} vs swapping {} elements ({:.2}x)",
+            mask.stats.total_sent(),
+            swap.stats.total_sent(),
+            swap.stats.total_sent() as f64 / mask.stats.total_sent() as f64
+        );
+
+        // 2. replication factor sweep at fixed q
+        print!("replication: per-rank volume for c = ");
+        for c in [1usize, 2, 4] {
+            let grid = LuGrid::new(16 * c, 4, c);
+            let run = factorize(&ConfluxConfig::phantom(n, v.max(c), grid), None);
+            print!(
+                "{c}:{:.0}  ",
+                run.stats.total_sent() as f64 / grid.active() as f64
+            );
+        }
+        println!();
+
+        // 3. blocking parameter sweep
+        print!("blocking: total volume for v = ");
+        let grid = LuGrid::new(64, 4, 4);
+        for v in [4usize, 16, 64, 256] {
+            let run = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+            print!("{v}:{}  ", run.stats.total_sent());
+        }
+        println!();
+
+        // 4. grid optimization vs greedy full-rank 2.5D grid at awkward P
+        let p = 60; // not q^2 c friendly
+        let m = ((n * n) as f64 / (p as f64).powf(2.0 / 3.0)) as usize;
+        let optimized = choose_grid(p, n, m);
+        let greedy = LuGrid::new(p, 7, 1); // use all-but-11 ranks in 2D
+        let opt_run = factorize(&ConfluxConfig::phantom(n, 16, optimized), None);
+        let greedy_run = factorize(&ConfluxConfig::phantom(n, 16, greedy), None);
+        println!(
+            "grid opt: optimized [{},{},{}] per-rank {:.0} vs greedy [7,7,1] per-rank {:.0}",
+            optimized.q,
+            optimized.q,
+            optimized.c,
+            opt_run.stats.total_sent() as f64 / optimized.active() as f64,
+            greedy_run.stats.total_sent() as f64 / greedy.active() as f64,
+        );
+
+        // 5. broadcast algorithm: volume identical, root load differs
+        let mut flat_cfg = ConfluxConfig::phantom(n, 16, LuGrid::new(64, 4, 4));
+        flat_cfg.bcast = BcastAlgo::Flat;
+        let flat = factorize(&flat_cfg, None);
+        let bin = factorize(&ConfluxConfig::phantom(n, 16, LuGrid::new(64, 4, 4)), None);
+        println!(
+            "bcast: binomial total {} (max/rank {}) vs flat total {} (max/rank {})",
+            bin.stats.total_sent(),
+            bin.stats.max_sent_per_rank(),
+            flat.stats.total_sent(),
+            flat.stats.max_sent_per_rank(),
+        );
+        println!("=== end ablation summary ===\n");
+    });
+}
+
+fn bench_pivot_strategy(c: &mut Criterion) {
+    print_ablation_summary();
+    let mut group = c.benchmark_group("ablation_pivot_strategy");
+    group.sample_size(10);
+    let n = 1024;
+    let grid = LuGrid::new(64, 4, 4);
+    for (name, strat) in [
+        ("masking", PivotStrategy::Masking),
+        ("swapping", PivotStrategy::Swapping),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strat, |bch, &strat| {
+            bch.iter(|| {
+                let mut cfg = ConfluxConfig::phantom(n, 16, grid);
+                cfg.pivot_strategy = strat;
+                factorize(black_box(&cfg), None).stats.total_sent()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication");
+    group.sample_size(10);
+    let n = 1024;
+    for cc in [1usize, 2, 4] {
+        let grid = LuGrid::new(16 * cc, 4, cc);
+        group.bench_with_input(BenchmarkId::new("c", cc), &grid, |bch, &grid| {
+            bch.iter(|| {
+                factorize(&ConfluxConfig::phantom(n, 16, grid), None)
+                    .stats
+                    .total_sent()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_block_size");
+    group.sample_size(10);
+    let n = 1024;
+    let grid = LuGrid::new(64, 4, 4);
+    for v in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("v", v), &v, |bch, &v| {
+            bch.iter(|| {
+                factorize(&ConfluxConfig::phantom(n, v, grid), None)
+                    .stats
+                    .total_sent()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pivot_strategy,
+    bench_replication,
+    bench_block_size
+);
+criterion_main!(benches);

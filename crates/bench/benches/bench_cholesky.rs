@@ -1,0 +1,44 @@
+//! 2.5D Cholesky benches (the future-work extension): volume measurement
+//! at several grids, and the Cholesky-vs-LU comparison.
+
+use conflux::cholesky::{factorize_cholesky, CholeskyConfig};
+use conflux::grid::LuGrid;
+use conflux::{factorize, ConfluxConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_25d");
+    group.sample_size(10);
+    let n = 1024;
+    for (q, cc) in [(2usize, 2usize), (4, 4)] {
+        let grid = LuGrid::new(q * q * cc, q, cc);
+        group.bench_with_input(
+            BenchmarkId::new("phantom", format!("q{q}_c{cc}")),
+            &grid,
+            |bch, &grid| {
+                bch.iter(|| {
+                    factorize_cholesky(&CholeskyConfig::phantom(n, 16, grid), None)
+                        .stats
+                        .total_sent()
+                })
+            },
+        );
+    }
+    group.bench_function("vs_lu_volume_ratio", |bch| {
+        let grid = LuGrid::new(64, 4, 4);
+        bch.iter(|| {
+            let chol = factorize_cholesky(&CholeskyConfig::phantom(n, 16, grid), None)
+                .stats
+                .total_sent();
+            let lu = factorize(&ConfluxConfig::phantom(n, 16, grid), None)
+                .stats
+                .total_sent();
+            black_box(chol as f64 / lu as f64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky);
+criterion_main!(benches);

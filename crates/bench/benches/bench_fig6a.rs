@@ -1,0 +1,21 @@
+//! Fig. 6a bench: strong-scaling volume sweep (reduced N; the paper-scale
+//! series comes from the `fig6a` binary).
+
+use conflux_bench::experiments::measure_all;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_strong_scaling");
+    group.sample_size(10);
+    let n = 2048usize;
+    for p in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
+            bch.iter(|| measure_all(black_box(n), black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 6b bench: weak-scaling volume sweep with N = 800·∛P (reduced
+//! scale; the paper-scale series comes from the `fig6b` binary).
+
+use conflux_bench::experiments::measure_all;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_weak_scaling");
+    group.sample_size(10);
+    for p in [8usize, 64, 216] {
+        let n = 800 * (p as f64).cbrt().round() as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(p), &(n, p), |bch, &(n, p)| {
+            bch.iter(|| measure_all(black_box(n), black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6b);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 7 bench: the reduction-vs-second-best computation, combining
+//! simulated points with the model extrapolation (reduced scale; the
+//! paper-scale series comes from the `fig7` binary).
+
+use baselines::models;
+use conflux_bench::experiments::{measure_all, Implementation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn reduction_vs_second_best(n: usize, p: usize) -> f64 {
+    let ms = measure_all(n, p);
+    let of = |imp: Implementation| {
+        ms.iter()
+            .find(|m| m.implementation == imp)
+            .unwrap()
+            .total_elements as f64
+    };
+    let second = of(Implementation::LibSci)
+        .min(of(Implementation::Slate))
+        .min(of(Implementation::Candmc));
+    second / of(Implementation::Conflux)
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_reduction");
+    group.sample_size(10);
+    for (n, p) in [(1024usize, 64usize), (2048, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("measured", format!("n{n}_p{p}")),
+            &(n, p),
+            |bch, &(n, p)| bch.iter(|| reduction_vs_second_best(black_box(n), black_box(p))),
+        );
+    }
+    group.bench_function("model_extrapolation_sweep", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            let n = 16384.0;
+            let mut p = 1024.0;
+            while p <= 262144.0 {
+                let m = models::fig6_memory(n, p);
+                let (l, s, cm, x) = models::all_models_per_rank(n, p, m);
+                acc += l.min(s).min(cm) / x;
+                p *= 2.0;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Substrate kernel benchmarks: GEMM, TRSM, serial LU, tournament
+//! pivoting — the building blocks every simulated implementation runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use denselin::gemm::{gemm, gemm_parallel};
+use denselin::lu::{lu_blocked, lu_unblocked};
+use denselin::matrix::Matrix;
+use denselin::tournament::tournament_pivots;
+use denselin::trsm::trsm_lower_left;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [128usize, 256, 512] {
+        let a = Matrix::random(&mut rng, n, n);
+        let b = Matrix::random(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm(&mut out, 1.0, black_box(&a), black_box(&b), 0.0);
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm_parallel(&mut out, 1.0, black_box(&a), black_box(&b), 0.0, 4);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serial_lu");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [128usize, 256] {
+        let a = Matrix::random(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bch, _| {
+            bch.iter(|| lu_unblocked(black_box(&a)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| lu_blocked(black_box(&a), 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsm");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [128usize, 256] {
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                0.1
+            } else if i == j {
+                2.0
+            } else {
+                0.0
+            }
+        });
+        let b = Matrix::random(&mut rng, n, 32);
+        group.bench_with_input(BenchmarkId::new("lower_left", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut x = b.clone();
+                trsm_lower_left(black_box(&l), &mut x, false);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tournament(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tournament_pivoting");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let panel = Matrix::random(&mut rng, 1024, 32);
+    for parts in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("parts", parts), &parts, |bch, &parts| {
+            bch.iter(|| tournament_pivots(black_box(&panel), 32, parts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_lu, bench_trsm, bench_tournament);
+criterion_main!(benches);

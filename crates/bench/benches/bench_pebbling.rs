@@ -1,0 +1,66 @@
+//! Pebbling machinery benches: greedy Belady scheduling, schedule
+//! validation, minimum-dominator max-flow, and the symbolic ψ/ρ solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iobound::{minimize_rho, psi, shapes};
+use pebbling::builders::{lu_cdag, mmm_cdag};
+use pebbling::game::{execute, greedy_schedule_with_order};
+use pebbling::schedule::{lu_right_looking_order, mmm_tiled_order};
+use pebbling::{greedy_partition, min_dominator_size};
+use std::hint::black_box;
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebbling_schedules");
+    group.sample_size(10);
+    for n in [8usize, 12] {
+        let g = mmm_cdag(n);
+        let order = mmm_tiled_order(n, 2);
+        group.bench_with_input(BenchmarkId::new("mmm_greedy", n), &n, |bch, _| {
+            bch.iter(|| greedy_schedule_with_order(black_box(&g), 16, &order))
+        });
+        let moves = greedy_schedule_with_order(&g, 16, &order);
+        group.bench_with_input(BenchmarkId::new("mmm_validate", n), &n, |bch, _| {
+            bch.iter(|| execute(black_box(&g), black_box(&moves), 16).unwrap())
+        });
+    }
+    let (g, groups) = lu_cdag(10);
+    let order = lu_right_looking_order(&groups);
+    group.bench_function("lu10_greedy", |bch| {
+        bch.iter(|| greedy_schedule_with_order(black_box(&g), 24, &order))
+    });
+    group.finish();
+}
+
+fn bench_dominators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebbling_dominators");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let (g, _) = lu_cdag(n);
+        let compute = g.compute_vertices();
+        group.bench_with_input(BenchmarkId::new("lu_min_dominator", n), &n, |bch, _| {
+            bch.iter(|| min_dominator_size(black_box(&g), black_box(&compute)))
+        });
+        group.bench_with_input(BenchmarkId::new("lu_greedy_partition", n), &n, |bch, _| {
+            bch.iter(|| greedy_partition(black_box(&g), 12))
+        });
+    }
+    group.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iobound_solvers");
+    group.sample_size(10);
+    group.bench_function("psi_mmm", |bch| {
+        bch.iter(|| psi(black_box(&shapes::mmm()), black_box(3000.0)))
+    });
+    group.bench_function("minimize_rho_lu_s2", |bch| {
+        bch.iter(|| minimize_rho(black_box(&shapes::lu_s2()), black_box(1024.0)))
+    });
+    group.bench_function("full_lu_bound", |bch| {
+        bch.iter(|| iobound::lu_bound(black_box(4096.0), black_box(1024.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_dominators, bench_symbolic);
+criterion_main!(benches);

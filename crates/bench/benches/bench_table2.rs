@@ -1,0 +1,27 @@
+//! Table 2 bench: times the four-implementation volume measurement at a
+//! reduced scale (the full-scale rows are printed by the `table2` binary).
+
+use conflux_bench::experiments::{measure, measure_all, Implementation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (n, p) in [(1024usize, 64usize), (2048, 64), (2048, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("all_impls", format!("n{n}_p{p}")),
+            &(n, p),
+            |bch, &(n, p)| bch.iter(|| measure_all(black_box(n), black_box(p))),
+        );
+    }
+    for imp in Implementation::ALL {
+        group.bench_with_input(BenchmarkId::new("single", imp.name()), &imp, |bch, &imp| {
+            bch.iter(|| measure(imp, black_box(1024), black_box(64)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

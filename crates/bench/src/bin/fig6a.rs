@@ -1,0 +1,76 @@
+//! Reproduces **Figure 6a**: communication volume per node for varying
+//! node counts P at fixed N = 16384 (strong scaling), for all four
+//! implementations, plus the model lines.
+//!
+//! Run with `cargo run --release --bin fig6a` (add an integer argument to
+//! change N, e.g. `fig6a 4096` for a faster sweep).
+
+use conflux_bench::experiments::{measure_all, Implementation};
+use conflux_bench::format::{human_bytes, render_csv};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16384);
+    let ps = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    println!("# Fig. 6a reproduction: communication volume per node, N = {n}, varying P");
+    println!("# (measured = simulator count; model = Table 2 leading terms)");
+    println!();
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "P", "LibSci", "SLATE", "CANDMC", "COnfLUX", "2D model", "COnfLUX mod"
+    );
+
+    let mut xs = Vec::new();
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("libsci_bytes", vec![]),
+        ("slate_bytes", vec![]),
+        ("candmc_bytes", vec![]),
+        ("conflux_bytes", vec![]),
+        ("model2d_bytes", vec![]),
+        ("model_conflux_bytes", vec![]),
+    ];
+    for p in ps {
+        let ms = measure_all(n, p);
+        let get = |imp: Implementation| {
+            ms.iter()
+                .find(|m| m.implementation == imp)
+                .unwrap()
+                .mean_per_rank_bytes()
+        };
+        let (l, s, c, x) = (
+            get(Implementation::LibSci),
+            get(Implementation::Slate),
+            get(Implementation::Candmc),
+            get(Implementation::Conflux),
+        );
+        let m2d = baselines::models::libsci_per_rank(n as f64, p as f64) * 8.0;
+        let mcx = ms
+            .iter()
+            .find(|m| m.implementation == Implementation::Conflux)
+            .unwrap()
+            .model_per_rank
+            * 8.0;
+        println!(
+            "{:>6} | {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12}",
+            p,
+            human_bytes(l),
+            human_bytes(s),
+            human_bytes(c),
+            human_bytes(x),
+            human_bytes(m2d),
+            human_bytes(mcx),
+        );
+        xs.push(p as f64);
+        for (slot, val) in series.iter_mut().zip([l, s, c, x, m2d, mcx]) {
+            slot.1.push(val);
+        }
+    }
+    println!();
+    println!("# CSV\n{}", render_csv("p", &xs, &series));
+    println!("# paper's qualitative shape: COnfLUX lowest everywhere; 2D lines flatten");
+    println!(
+        "# (volume/node ~ N^2/sqrt(P) / P ranks shown per node), CANDMC above 2D at these scales."
+    );
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Figure 6b**: weak scaling — communication volume per node
+//! with constant work per node, N = 3200·∛P. The 2.5D algorithms (CANDMC,
+//! COnfLUX) should stay flat; the 2D algorithms grow like P^(1/6).
+//!
+//! Run with `cargo run --release --bin fig6b`.
+
+use conflux_bench::experiments::{measure_all, Implementation};
+use conflux_bench::format::{human_bytes, render_csv};
+
+fn main() {
+    // perfect cubes so that N = 3200 * cbrt(P) is exact and v | N holds
+    let ps = [8usize, 27, 64, 125, 216, 512, 1000];
+    println!("# Fig. 6b reproduction: weak scaling, N = 3200 * P^(1/3)");
+    println!();
+    println!(
+        "{:>6} {:>8} | {:>12} {:>12} {:>12} {:>12}",
+        "P", "N", "LibSci", "SLATE", "CANDMC", "COnfLUX"
+    );
+    let mut xs = Vec::new();
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("libsci_bytes", vec![]),
+        ("slate_bytes", vec![]),
+        ("candmc_bytes", vec![]),
+        ("conflux_bytes", vec![]),
+    ];
+    for p in ps {
+        let cbrt = (p as f64).cbrt().round() as usize;
+        let n = 3200 * cbrt;
+        let ms = measure_all(n, p);
+        let get = |imp: Implementation| {
+            ms.iter()
+                .find(|m| m.implementation == imp)
+                .unwrap()
+                .mean_per_rank_bytes()
+        };
+        let vals = [
+            get(Implementation::LibSci),
+            get(Implementation::Slate),
+            get(Implementation::Candmc),
+            get(Implementation::Conflux),
+        ];
+        println!(
+            "{:>6} {:>8} | {:>12} {:>12} {:>12} {:>12}",
+            p,
+            n,
+            human_bytes(vals[0]),
+            human_bytes(vals[1]),
+            human_bytes(vals[2]),
+            human_bytes(vals[3]),
+        );
+        xs.push(p as f64);
+        for (slot, v) in series.iter_mut().zip(vals) {
+            slot.1.push(v);
+        }
+    }
+    println!();
+    println!("# CSV\n{}", render_csv("p", &xs, &series));
+    println!(
+        "# paper's qualitative shape: 2.5D lines (CANDMC, COnfLUX) flat; 2D lines grow ~P^(1/6)."
+    );
+}

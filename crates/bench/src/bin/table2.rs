@@ -1,0 +1,40 @@
+//! Reproduces **Table 2**: total communication volume, measured (simulated)
+//! vs modeled, for N ∈ {4096, 16384} and P ∈ {64, 1024}, across LibSci,
+//! SLATE, CANDMC, and COnfLUX.
+//!
+//! Run with `cargo run --release --bin table2`.
+
+use conflux_bench::experiments::{measure_all, Implementation};
+use conflux_bench::format::table2_cell;
+
+fn main() {
+    println!("# Table 2 reproduction: total comm. volume measured/modeled [GB] (prediction %)");
+    println!("# memory regime: M = N^2 / P^(2/3)  (max replication c = P^(1/3), as in the paper)");
+    println!();
+    for n in [4096usize, 16384] {
+        println!("## N = {n}");
+        println!(
+            "{:>8} | {:>24} | {:>24} | {:>24} | {:>24}",
+            "P", "LibSci", "SLATE", "CANDMC", "COnfLUX"
+        );
+        for p in [64usize, 1024] {
+            let ms = measure_all(n, p);
+            let cell = |imp: Implementation| {
+                table2_cell(ms.iter().find(|m| m.implementation == imp).unwrap())
+            };
+            println!(
+                "{:>8} | {:>24} | {:>24} | {:>24} | {:>24}",
+                p,
+                cell(Implementation::LibSci),
+                cell(Implementation::Slate),
+                cell(Implementation::Candmc),
+                cell(Implementation::Conflux),
+            );
+        }
+        println!();
+    }
+    println!("# paper (measured/modeled GB): N=4096   P=64:   1.17/1.21  1.18/1.21  2.5/4.9    1.11/1.08");
+    println!("#                              N=4096   P=1024: 4.45/4.43  4.35/4.43  9.3/12.13  3.13/3.07");
+    println!("#                              N=16384  P=64:   18.79/19.33 18.84/19.33 39.8/78.74 17.61/17.19");
+    println!("#                              N=16384  P=1024: 70.91/70.87 71.1/70.87 144/194.09 45.42/44.77");
+}

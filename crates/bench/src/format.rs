@@ -1,0 +1,115 @@
+//! Plain-text table/series rendering for the harness binaries.
+
+use crate::experiments::Measurement;
+
+/// Format a byte count the way the figures label their axes.
+pub fn human_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// One Table 2 style row: `measured / modeled GB (prediction %)`.
+pub fn table2_cell(m: &Measurement) -> String {
+    format!(
+        "{:.2} / {:.2} ({:.0}%)",
+        m.total_gb(),
+        m.model_total_gb(),
+        m.prediction_pct()
+    )
+}
+
+/// Render a series of `(x, y)` points as an aligned two-column block with
+/// a crude log-scale spark column, for terminal-readable "figures".
+pub fn render_series(title: &str, points: &[(f64, f64)], x_label: &str, y_label: &str) -> String {
+    let mut out = format!("## {title}\n{:>10}  {:>14}  {y_label}\n", x_label, y_label);
+    let (lo, hi) = points
+        .iter()
+        .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    for &(x, y) in points {
+        let frac = if hi > lo {
+            ((y.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let bar = "#".repeat(1 + (frac * 40.0) as usize);
+        out.push_str(&format!("{x:>10.0}  {:>14}  {bar}\n", human_bytes(y)));
+    }
+    out
+}
+
+/// CSV rendering of labelled series sharing the same x values.
+pub fn render_csv(x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::from(x_label);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for (_, ys) in series {
+            out.push_str(&format!(",{}", ys[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Implementation;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(human_bytes(512.0), "512 B");
+        assert_eq!(human_bytes(2_500.0), "2.50 KB");
+        assert_eq!(human_bytes(3.2e7), "32.00 MB");
+        assert_eq!(human_bytes(1.21e9), "1.21 GB");
+    }
+
+    #[test]
+    fn table_cell_shape() {
+        let m = Measurement {
+            implementation: Implementation::Conflux,
+            n: 4096,
+            p: 64,
+            total_elements: 138_750_000,
+            max_per_rank: 0,
+            model_per_rank: 2_109_375.0,
+        };
+        let cell = table2_cell(&m);
+        assert!(cell.contains('/'));
+        assert!(cell.contains('%'));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = render_csv(
+            "p",
+            &[1.0, 2.0],
+            &[("a", vec![3.0, 4.0]), ("b", vec![5.0, 6.0])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "p,a,b");
+        assert_eq!(lines[1], "1,3,5");
+        assert_eq!(lines[2], "2,4,6");
+    }
+
+    #[test]
+    fn series_render_contains_points() {
+        let s = render_series("t", &[(4.0, 1e6), (16.0, 5e5)], "P", "bytes");
+        assert!(s.contains("## t"));
+        assert!(s.contains("1.00 MB"));
+        assert!(s.contains("500.00 KB"));
+    }
+}

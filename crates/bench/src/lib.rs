@@ -1,0 +1,13 @@
+//! `conflux-bench` — the experiment harness reproducing every table and
+//! figure of the paper's evaluation (Sections 8–9).
+//!
+//! The library half hosts the shared sweep machinery; the binaries
+//! (`table2`, `fig6a`, `fig6b`, `fig7`) print the paper's rows/series, and
+//! the Criterion benches time reduced-scale versions of the same sweeps.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::{measure_all, measure_conflux, pick_block_size, Implementation, Measurement};

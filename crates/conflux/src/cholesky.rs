@@ -1,0 +1,328 @@
+//! 2.5D Cholesky factorization — the extension the paper's conclusion
+//! calls for ("this promising result mandates the exploration of the
+//! parallel pebbling strategy to algorithms such as Cholesky
+//! factorization").
+//!
+//! Same machinery as COnfLUX's LU (replicated block-cyclic storage, layered
+//! Schur accumulation, 1D panel redistribution, single-layer update sends),
+//! but SPD input removes pivoting entirely and symmetry halves the update:
+//! only lower-triangle blocks `(br ≥ bc)` are touched, so the leading
+//! communication term is `N³/(2P√M)` — half of LU's, against a lower bound
+//! of `N³/(3P√M)` (see `iobound::kernels::cholesky_bound`).
+
+use denselin::cholesky::{cholesky_residual, cholesky_unblocked};
+use denselin::matrix::Matrix;
+use denselin::trsm::trsm_upper_right;
+use simnet::network::Network;
+use simnet::stats::CommStats;
+
+use crate::grid::LuGrid;
+use crate::store::{holder_1d, BlockStore};
+use crate::tiles::Mode;
+
+/// Configuration of a 2.5D Cholesky run.
+#[derive(Clone, Debug)]
+pub struct CholeskyConfig {
+    /// Matrix order (must be divisible by `v`).
+    pub n: usize,
+    /// Block size.
+    pub v: usize,
+    /// The `[q, q, c]` grid.
+    pub grid: LuGrid,
+    /// Dense or Phantom.
+    pub mode: Mode,
+}
+
+impl CholeskyConfig {
+    /// Phantom (volume-only) configuration.
+    pub fn phantom(n: usize, v: usize, grid: LuGrid) -> Self {
+        Self {
+            n,
+            v,
+            grid,
+            mode: Mode::Phantom,
+        }
+    }
+
+    /// Dense configuration.
+    pub fn dense(n: usize, v: usize, grid: LuGrid) -> Self {
+        Self {
+            n,
+            v,
+            grid,
+            mode: Mode::Dense,
+        }
+    }
+}
+
+/// Result of a 2.5D Cholesky run.
+pub struct CholeskyRun {
+    /// Communication record.
+    pub stats: CommStats,
+    /// The lower-triangular factor (Dense mode).
+    pub l: Option<Matrix>,
+}
+
+impl CholeskyRun {
+    /// Relative residual `‖A − L·Lᵀ‖_F/‖A‖_F` (Dense mode).
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        cholesky_residual(a, self.l.as_ref().expect("dense run"))
+    }
+}
+
+/// Run the 2.5D Cholesky factorization.
+pub fn factorize_cholesky(cfg: &CholeskyConfig, a: Option<&Matrix>) -> CholeskyRun {
+    let (n, v) = (cfg.n, cfg.v);
+    assert!(n % v == 0, "v must divide n");
+    let (q, c) = (cfg.grid.q, cfg.grid.c);
+    assert!(
+        v >= c,
+        "blocking parameter v must be at least the layer count c"
+    );
+    let topo = cfg.grid.topology();
+    let p = topo.ranks();
+    let nb = n / v;
+
+    let mut net = Network::new(p);
+    let mut store = BlockStore::new(n, v, q, c, cfg.mode, a);
+    let all_ranks = topo.all_ranks();
+    let mut l_out = (cfg.mode == Mode::Dense).then(|| Matrix::zeros(n, n));
+
+    for t in 0..nb {
+        let kt = t % c;
+        let rows_from = t * v;
+        let n10 = n - rows_from - v; // rows strictly below the pivot block
+
+        // ---- reduce the current block column (lower part) over fibers ----
+        for br in t..nb {
+            let rows: Vec<usize> = (rows_from.max(br * v)..(br + 1) * v).collect();
+            if c > 1 {
+                let fiber = store.fiber(br, t);
+                let root = store.owner(br, t, 0);
+                net.reduce_onto(root, &fiber, (rows.len() * v) as u64, "c1:reduce-column");
+            }
+            store.fold_deltas(br, t, &rows);
+        }
+
+        // ---- factor the diagonal block, broadcast L00 ----
+        let l00 = if cfg.mode == Mode::Dense {
+            let rows: Vec<usize> = (t * v..(t + 1) * v).collect();
+            let a00 = store.read_rows(t, &rows);
+            Some(cholesky_unblocked(&a00).expect("matrix not SPD"))
+        } else {
+            None
+        };
+        net.broadcast_from(
+            store.owner(t, t, 0),
+            &all_ranks,
+            (v * v) as u64,
+            "c2:bcast-l00",
+        );
+        if let (Some(l), Some(l00m)) = (l_out.as_mut(), l00.as_ref()) {
+            l.set_block(t * v, t * v, l00m);
+        }
+
+        if n10 == 0 {
+            continue;
+        }
+
+        // ---- scatter the panel 1D over all ranks ----
+        let panel_rows: Vec<usize> = ((t + 1) * v..n).collect();
+        {
+            // aggregate by (owner block row, 1D holder)
+            let mut run: Option<(usize, usize, usize)> = None;
+            let mut plan = Vec::new();
+            for (pos, &r) in panel_rows.iter().enumerate() {
+                let src = store.owner(r / v, t, 0);
+                let dst = holder_1d(pos, n10, p);
+                match run {
+                    Some((s, d, len)) if s == src && d == dst => run = Some((s, d, len + 1)),
+                    Some(done) => {
+                        plan.push(done);
+                        run = Some((src, dst, 1));
+                    }
+                    None => run = Some((src, dst, 1)),
+                }
+            }
+            plan.extend(run);
+            for (src, dst, len) in plan {
+                net.send(src, dst, (len * v) as u64, "c3:scatter-panel");
+            }
+        }
+
+        // ---- local panel solve: L10 = A10 · L00^{-T} ----
+        let l10 = if cfg.mode == Mode::Dense {
+            let mut panel = store.read_rows(t, &panel_rows);
+            let l00t = l00.as_ref().unwrap().transpose();
+            trsm_upper_right(&mut panel, &l00t, false);
+            if let Some(l) = l_out.as_mut() {
+                l.set_block((t + 1) * v, t * v, &panel);
+            }
+            Some(panel)
+        } else {
+            None
+        };
+
+        // ---- send the factored panel to layer kt: each trailing block
+        // (br, bc), br >= bc > t, needs rows(br) and rows(bc) of L10 ----
+        let mut segs: Vec<(usize, usize, usize)> = Vec::new(); // (src, br, len)
+        {
+            let mut run: Option<(usize, usize, usize)> = None;
+            for (pos, &r) in panel_rows.iter().enumerate() {
+                let src = holder_1d(pos, n10, p);
+                let br = r / v;
+                match run {
+                    Some((s, b, len)) if s == src && b == br => run = Some((s, b, len + 1)),
+                    Some(done) => {
+                        segs.push(done);
+                        run = Some((src, br, 1));
+                    }
+                    None => run = Some((src, br, 1)),
+                }
+            }
+            segs.extend(run);
+        }
+        for &(src, br, len) in &segs {
+            // rows of block row br are needed by the owners of blocks in
+            // grid row (br % q) — as the left operand — and grid column
+            // (br % q) — as the transposed right operand.
+            for j in 0..q {
+                net.send(
+                    src,
+                    topo.rank_of(br % q, j, kt),
+                    (len * v) as u64,
+                    "c4:send-panel-rows",
+                );
+            }
+            for i in 0..q {
+                net.send(
+                    src,
+                    topo.rank_of(i, br % q, kt),
+                    (len * v) as u64,
+                    "c5:send-panel-cols",
+                );
+            }
+        }
+
+        // ---- local symmetric update on layer kt:
+        //      A(br, bc) -= L10(br) · L10(bc)^T for br >= bc > t ----
+        if let Some(l10m) = l10.as_ref() {
+            for br in t + 1..nb {
+                let rows: Vec<usize> = (br * v..(br + 1) * v).collect();
+                let row_off = br * v - (t + 1) * v;
+                let lbr = l10m.block(row_off, 0, v, v);
+                // build the transposed strip for columns t+1..=br
+                let width = (br - t) * v;
+                let lt = {
+                    let strip = l10m.block(0, 0, width, v);
+                    strip.transpose()
+                };
+                store.accumulate_update(kt, br, &rows, &lbr, &lt, t + 1);
+            }
+        }
+    }
+
+    CholeskyRun {
+        stats: net.stats,
+        l: l_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denselin::cholesky::random_spd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_dense(n: usize, v: usize, q: usize, c: usize, seed: u64) -> (Matrix, CholeskyRun) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        let grid = LuGrid::new(q * q * c, q, c);
+        let run = factorize_cholesky(&CholeskyConfig::dense(n, v, grid), Some(&a));
+        (a, run)
+    }
+
+    #[test]
+    fn dense_single_rank_correct() {
+        let (a, run) = run_dense(32, 4, 1, 1, 70);
+        assert!(run.residual(&a) < 1e-10, "residual {}", run.residual(&a));
+    }
+
+    #[test]
+    fn dense_2x2_correct() {
+        let (a, run) = run_dense(48, 4, 2, 1, 71);
+        assert!(run.residual(&a) < 1e-10, "residual {}", run.residual(&a));
+    }
+
+    #[test]
+    fn dense_2x2x2_correct() {
+        let (a, run) = run_dense(64, 8, 2, 2, 72);
+        assert!(run.residual(&a) < 1e-9, "residual {}", run.residual(&a));
+    }
+
+    #[test]
+    fn dense_3x3x3_correct() {
+        let (a, run) = run_dense(81, 27, 3, 3, 73);
+        assert!(run.residual(&a) < 1e-9, "residual {}", run.residual(&a));
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let (_, run) = run_dense(32, 8, 2, 1, 74);
+        let l = run.l.unwrap();
+        for i in 0..32 {
+            for j in i + 1..32 {
+                assert_eq!(l[(i, j)], 0.0, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn phantom_counts_and_is_cheaper_than_lu() {
+        let n = 256;
+        let v = 16;
+        let grid = LuGrid::new(64, 4, 4);
+        let chol = factorize_cholesky(&CholeskyConfig::phantom(n, v, grid), None);
+        assert!(chol.stats.total_sent() > 0);
+        let lu = crate::factorize(&crate::ConfluxConfig::phantom(n, v, grid), None);
+        assert!(
+            chol.stats.total_sent() < lu.stats.total_sent(),
+            "Cholesky ({}) should communicate less than LU ({})",
+            chol.stats.total_sent(),
+            lu.stats.total_sent()
+        );
+    }
+
+    #[test]
+    fn volume_dominates_cholesky_lower_bound() {
+        let n = 512;
+        let v = 16;
+        let grid = LuGrid::new(64, 4, 4);
+        let run = factorize_cholesky(&CholeskyConfig::phantom(n, v, grid), None);
+        let m = grid.memory_per_rank(n) as f64;
+        let bound_total = iobound_cholesky_bound(n as f64, m);
+        assert!(
+            run.stats.total_sent() as f64 >= bound_total / 1.0,
+            "measured {} below bound {}",
+            run.stats.total_sent(),
+            bound_total
+        );
+    }
+
+    // local copy of the iobound formula to avoid a dev-dependency cycle:
+    // Q >= domain/rho with rho = sqrt(M)/2, domain ~ N^3/6
+    fn iobound_cholesky_bound(n: f64, m: f64) -> f64 {
+        ((n - 1.0) * n * (2.0 * n - 1.0) / 12.0) / (m.sqrt() / 2.0)
+    }
+
+    #[test]
+    fn replication_helps_cholesky_too() {
+        let n = 256;
+        let c1 = factorize_cholesky(&CholeskyConfig::phantom(n, 16, LuGrid::new(16, 4, 1)), None);
+        let c4 = factorize_cholesky(&CholeskyConfig::phantom(n, 16, LuGrid::new(64, 4, 4)), None);
+        let per1 = c1.stats.total_sent() as f64 / 16.0;
+        let per4 = c4.stats.total_sent() as f64 / 64.0;
+        assert!(per4 < per1, "per-rank: c=4 {per4} !< c=1 {per1}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Dense/Phantom tile algebra.
+//!
+//! Every distributed algorithm in this workspace is written once, over
+//! [`Tile`]s. In [`Mode::Dense`] a tile carries real `f64` data and the
+//! kernels execute; in [`Mode::Phantom`] a tile carries only its shape and
+//! the kernels are shape-checked no-ops. Communication volumes depend only
+//! on shapes, so Phantom runs produce *identical* counters at paper-scale
+//! `(N, P)` in milliseconds (asserted by tests in this crate).
+
+use denselin::matrix::Matrix;
+
+/// Execution mode of a simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Real numerics: factors are produced and can be verified.
+    Dense,
+    /// Shape-only: no floating-point work, identical communication.
+    Phantom,
+}
+
+/// A matrix tile that either holds data or just a shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tile {
+    /// Tile with real contents.
+    Dense(Matrix),
+    /// Shape-only tile.
+    Phantom {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+}
+
+impl Tile {
+    /// A zero tile of the given mode and shape.
+    pub fn zeros(mode: Mode, rows: usize, cols: usize) -> Self {
+        match mode {
+            Mode::Dense => Tile::Dense(Matrix::zeros(rows, cols)),
+            Mode::Phantom => Tile::Phantom { rows, cols },
+        }
+    }
+
+    /// Wrap an existing dense matrix.
+    pub fn from_matrix(m: Matrix) -> Self {
+        Tile::Dense(m)
+    }
+
+    /// This tile's mode.
+    pub fn mode(&self) -> Mode {
+        match self {
+            Tile::Dense(_) => Mode::Dense,
+            Tile::Phantom { .. } => Mode::Phantom,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        match self {
+            Tile::Dense(m) => m.rows(),
+            Tile::Phantom { rows, .. } => *rows,
+        }
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        match self {
+            Tile::Dense(m) => m.cols(),
+            Tile::Phantom { cols, .. } => *cols,
+        }
+    }
+
+    /// Number of elements (the communication volume of moving this tile).
+    pub fn elems(&self) -> u64 {
+        (self.rows() * self.cols()) as u64
+    }
+
+    /// Borrow the dense contents.
+    ///
+    /// # Panics
+    /// Panics on a phantom tile.
+    pub fn dense(&self) -> &Matrix {
+        match self {
+            Tile::Dense(m) => m,
+            Tile::Phantom { .. } => panic!("dense() called on a phantom tile"),
+        }
+    }
+
+    /// Mutably borrow the dense contents.
+    ///
+    /// # Panics
+    /// Panics on a phantom tile.
+    pub fn dense_mut(&mut self) -> &mut Matrix {
+        match self {
+            Tile::Dense(m) => m,
+            Tile::Phantom { .. } => panic!("dense_mut() called on a phantom tile"),
+        }
+    }
+
+    /// Rank-`k` accumulation `self += a * b` (the Schur-complement delta).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or mixed modes.
+    pub fn accumulate_product(&mut self, a: &Tile, b: &Tile) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
+        assert_eq!(self.rows(), a.rows(), "row mismatch");
+        assert_eq!(self.cols(), b.cols(), "col mismatch");
+        match (self, a, b) {
+            (Tile::Dense(c), Tile::Dense(am), Tile::Dense(bm)) => {
+                denselin::gemm::gemm(c, 1.0, am, bm, 1.0);
+            }
+            (Tile::Phantom { .. }, Tile::Phantom { .. }, Tile::Phantom { .. }) => {}
+            _ => panic!("mixed dense/phantom tiles in accumulate_product"),
+        }
+    }
+
+    /// Subtract another tile element-wise (`self -= other`), used when a
+    /// reduction folds delta tiles into base values.
+    pub fn subtract(&mut self, other: &Tile) {
+        assert_eq!(self.rows(), other.rows());
+        assert_eq!(self.cols(), other.cols());
+        match (self, other) {
+            (Tile::Dense(c), Tile::Dense(d)) => {
+                for (x, y) in c.as_mut_slice().iter_mut().zip(d.as_slice()) {
+                    *x -= y;
+                }
+            }
+            (Tile::Phantom { .. }, Tile::Phantom { .. }) => {}
+            _ => panic!("mixed dense/phantom tiles in subtract"),
+        }
+    }
+
+    /// Reset to zeros (after a delta tile has been folded into the base).
+    pub fn clear(&mut self) {
+        if let Tile::Dense(m) = self {
+            m.as_mut_slice().fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_modes() {
+        let d = Tile::zeros(Mode::Dense, 3, 4);
+        let p = Tile::zeros(Mode::Phantom, 3, 4);
+        assert_eq!(d.mode(), Mode::Dense);
+        assert_eq!(p.mode(), Mode::Phantom);
+        assert_eq!(d.rows(), p.rows());
+        assert_eq!(d.elems(), 12);
+        assert_eq!(p.elems(), 12);
+    }
+
+    #[test]
+    fn accumulate_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random(&mut rng, 4, 2);
+        let b = Matrix::random(&mut rng, 2, 5);
+        let mut t = Tile::zeros(Mode::Dense, 4, 5);
+        t.accumulate_product(&Tile::from_matrix(a.clone()), &Tile::from_matrix(b.clone()));
+        assert!(t.dense().allclose(&a.matmul(&b), 1e-10));
+        // accumulates, not overwrites
+        t.accumulate_product(&Tile::from_matrix(a.clone()), &Tile::from_matrix(b.clone()));
+        assert!(t.dense().allclose(&a.matmul(&b).scale(2.0), 1e-10));
+    }
+
+    #[test]
+    fn phantom_ops_are_noops_but_shape_checked() {
+        let mut t = Tile::zeros(Mode::Phantom, 4, 5);
+        let a = Tile::zeros(Mode::Phantom, 4, 2);
+        let b = Tile::zeros(Mode::Phantom, 2, 5);
+        t.accumulate_product(&a, &b);
+        t.subtract(&Tile::zeros(Mode::Phantom, 4, 5));
+        t.clear();
+        assert_eq!(t.elems(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn phantom_shape_mismatch_caught() {
+        let mut t = Tile::zeros(Mode::Phantom, 4, 5);
+        let a = Tile::zeros(Mode::Phantom, 4, 3);
+        let b = Tile::zeros(Mode::Phantom, 2, 5);
+        t.accumulate_product(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed dense/phantom")]
+    fn mixed_modes_caught() {
+        let mut t = Tile::zeros(Mode::Dense, 2, 2);
+        t.subtract(&Tile::zeros(Mode::Phantom, 2, 2));
+    }
+
+    #[test]
+    fn subtract_and_clear() {
+        let mut t = Tile::from_matrix(Matrix::from_fn(2, 2, |_, _| 5.0));
+        t.subtract(&Tile::from_matrix(Matrix::from_fn(2, 2, |_, _| 2.0)));
+        assert_eq!(t.dense()[(0, 0)], 3.0);
+        t.clear();
+        assert_eq!(t.dense()[(1, 1)], 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Condition-number estimation (LAPACK `gecon`-style).
+//!
+//! `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` with `‖A⁻¹‖₁` estimated by Hager's power method
+//! on `|A⁻¹|` using only LU solves — no explicit inverse. Used by tests to
+//! qualify residual expectations (`‖PA−LU‖/‖A‖ ≲ ε·κ`) and by downstream
+//! users to detect ill-conditioned systems before trusting a factorization.
+
+use crate::lu::LuFactorization;
+use crate::matrix::Matrix;
+use crate::trsm::{trsm_lower_right, trsm_upper_right};
+
+/// 1-norm of a matrix (max absolute column sum).
+pub fn one_norm(a: &Matrix) -> f64 {
+    let (m, n) = a.shape();
+    (0..n)
+        .map(|j| (0..m).map(|i| a[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Estimate `‖A⁻¹‖₁` from an LU factorization by Hager's method.
+pub fn inverse_one_norm_estimate(f: &LuFactorization) -> f64 {
+    let n = f.lu.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    // x = ones/n; iterate x <- A^-1 x, xi = sign pattern, z = A^-T xi ...
+    let mut x = Matrix::from_fn(n, 1, |_, _| 1.0 / n as f64);
+    let mut est = 0.0;
+    for _ in 0..5 {
+        // y = A^{-1} x
+        let y = solve(f, &x);
+        est = one_norm(&y);
+        // xi = sign(y)
+        let xi = Matrix::from_fn(n, 1, |i, _| if y[(i, 0)] >= 0.0 { 1.0 } else { -1.0 });
+        // z = A^{-T} xi
+        let z = solve_transposed(f, &xi);
+        // find the max |z_j|
+        let (mut jmax, mut zmax) = (0usize, -1.0f64);
+        for j in 0..n {
+            if z[(j, 0)].abs() > zmax {
+                zmax = z[(j, 0)].abs();
+                jmax = j;
+            }
+        }
+        // converged if z^T x >= |z|_inf
+        let ztx: f64 = (0..n).map(|i| z[(i, 0)] * x[(i, 0)]).sum();
+        if zmax <= ztx.abs() {
+            break;
+        }
+        x = Matrix::from_fn(n, 1, |i, _| if i == jmax { 1.0 } else { 0.0 });
+    }
+    est
+}
+
+/// Estimated 1-norm condition number.
+pub fn condition_estimate(a: &Matrix, f: &LuFactorization) -> f64 {
+    one_norm(a) * inverse_one_norm_estimate(f)
+}
+
+fn solve(f: &LuFactorization, b: &Matrix) -> Matrix {
+    f.solve(b)
+}
+
+/// Solve `Aᵀ x = b` through the factors: `Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P`, so
+/// `x = P⁻¹... ` — concretely: solve `Uᵀ y = b`, `Lᵀ z = y`, un-permute.
+fn solve_transposed(f: &LuFactorization, b: &Matrix) -> Matrix {
+    let n = f.lu.rows();
+    // U^T is lower triangular with U's diagonal: y = U^{-T} b
+    let mut y = b.transpose(); // 1 x n row for right-solves
+                               // y_row * U = b_row  <=>  U^T y = b
+    trsm_upper_right(&mut y, &f.lu, false);
+    // z_row * L = y_row  <=>  L^T z = y (unit diagonal)
+    trsm_lower_right(&mut y, &f.lu, true);
+    let z = y.transpose();
+    // x[perm[i]] = z[i]  (apply P^T)
+    let mut x = Matrix::zeros(n, 1);
+    for (i, &src) in f.perm.iter().enumerate() {
+        x[(src, 0)] = z[(i, 0)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::lu_unblocked;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn explicit_inverse(a: &Matrix) -> Matrix {
+        let n = a.rows();
+        let f = lu_unblocked(a).unwrap();
+        f.solve(&Matrix::identity(n))
+    }
+
+    #[test]
+    fn one_norm_by_hand() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -3.0, 2.0, 4.0]);
+        // column sums: |1|+|2|=3, |-3|+|4|=7
+        assert_eq!(one_norm(&a), 7.0);
+    }
+
+    #[test]
+    fn identity_has_condition_one() {
+        let a = Matrix::identity(8);
+        let f = lu_unblocked(&a).unwrap();
+        let k = condition_estimate(&a, &f);
+        assert!((k - 1.0).abs() < 1e-12, "kappa(I) = {k}");
+    }
+
+    #[test]
+    fn estimate_within_factor_of_true_norm() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for n in [4, 10, 25] {
+            let a = Matrix::random_diagonally_dominant(&mut rng, n);
+            let f = lu_unblocked(&a).unwrap();
+            let est = inverse_one_norm_estimate(&f);
+            let truth = one_norm(&explicit_inverse(&a));
+            assert!(
+                est <= truth * 1.0001,
+                "estimate exceeds the true norm: {est} > {truth}"
+            );
+            assert!(est >= truth / 10.0, "estimate too low: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn scaling_a_row_scales_kappa() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 12;
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let f = lu_unblocked(&a).unwrap();
+        let k1 = condition_estimate(&a, &f);
+        // multiply one row by 1e6: condition number must blow up
+        let mut bad = a.clone();
+        for j in 0..n {
+            bad[(0, j)] *= 1e6;
+        }
+        let fb = lu_unblocked(&bad).unwrap();
+        let k2 = condition_estimate(&bad, &fb);
+        assert!(k2 > 100.0 * k1, "k1={k1} k2={k2}");
+    }
+
+    #[test]
+    fn transposed_solve_is_correct() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 10;
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let f = lu_unblocked(&a).unwrap();
+        let x = Matrix::random(&mut rng, n, 1);
+        let b = a.transpose().matmul(&x);
+        let got = solve_transposed(&f, &b);
+        assert!(got.allclose(&x, 1e-8));
+    }
+}

@@ -1,0 +1,301 @@
+//! Blocked and parallel general matrix-matrix multiplication.
+//!
+//! This is the BLAS-3 substitute used by every LU implementation in the
+//! workspace. It is cache-blocked in the classic `(mc, kc, nc)` fashion and
+//! can optionally fan the outer row loop out over crossbeam scoped threads
+//! (the distributed simulators call the serial version per rank; the parallel
+//! version exists for the shared-memory examples and benches).
+
+use crate::matrix::Matrix;
+
+/// Cache-blocking parameters for [`gemm`].
+#[derive(Clone, Copy, Debug)]
+pub struct GemmBlocking {
+    /// Rows of `A`/`C` per outer block.
+    pub mc: usize,
+    /// Inner (reduction) dimension per block.
+    pub kc: usize,
+    /// Columns of `B`/`C` per outer block.
+    pub nc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        // Sized for ~L1/L2 resident blocks of f64 on commodity CPUs.
+        Self {
+            mc: 64,
+            kc: 128,
+            nc: 256,
+        }
+    }
+}
+
+/// `C <- alpha * A * B + beta * C` (serial, cache-blocked).
+///
+/// ```
+/// use denselin::{gemm::gemm, matrix::Matrix};
+/// let a = Matrix::identity(3);
+/// let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+/// let mut c = Matrix::zeros(3, 3);
+/// gemm(&mut c, 1.0, &a, &b, 0.0);
+/// assert!(c.allclose(&b, 1e-12));
+/// ```
+///
+/// # Panics
+/// Panics if the shapes are not conformant.
+pub fn gemm(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) {
+    gemm_blocked(c, alpha, a, b, beta, GemmBlocking::default());
+}
+
+/// [`gemm`] with explicit blocking parameters.
+pub fn gemm_blocked(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    blk: GemmBlocking,
+) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: inner dimensions must match");
+    assert_eq!(c.shape(), (m, n), "gemm: output shape must be (m, n)");
+
+    scale_in_place(c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    for kk in (0..k).step_by(blk.kc) {
+        let kend = (kk + blk.kc).min(k);
+        for ii in (0..m).step_by(blk.mc) {
+            let iend = (ii + blk.mc).min(m);
+            for jj in (0..n).step_by(blk.nc) {
+                let jend = (jj + blk.nc).min(n);
+                macro_kernel(c, alpha, a, b, ii..iend, kk..kend, jj..jend);
+            }
+        }
+    }
+}
+
+/// `C <- alpha * A * B + beta * C` with the row loop split over `threads`
+/// crossbeam scoped threads. Falls back to the serial path for tiny inputs.
+pub fn gemm_parallel(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    threads: usize,
+) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: inner dimensions must match");
+    assert_eq!(c.shape(), (m, n), "gemm: output shape must be (m, n)");
+
+    let threads = threads.max(1);
+    if threads == 1 || m * n * k < 64 * 64 * 64 {
+        gemm(c, alpha, a, b, beta);
+        return;
+    }
+
+    let band_rows = m.div_ceil(threads);
+    let bands = c.row_bands_mut(band_rows);
+    crossbeam::thread::scope(|scope| {
+        for (t, band) in bands.into_iter().enumerate() {
+            let r0 = t * band_rows;
+            let nrows = band.len() / n;
+            scope.spawn(move |_| {
+                // Each worker computes its own disjoint row band of C.
+                let mut local = Matrix::from_vec(nrows, n, band.to_vec());
+                let a_band = a.block(r0, 0, nrows, k);
+                gemm(&mut local, alpha, &a_band, b, beta);
+                band.copy_from_slice(local.as_slice());
+            });
+        }
+    })
+    .expect("gemm_parallel worker panicked");
+}
+
+/// Convenience: allocate and return `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(&mut c, 1.0, a, b, 0.0);
+    c
+}
+
+fn scale_in_place(c: &mut Matrix, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else {
+        for x in c.as_mut_slice() {
+            *x *= beta;
+        }
+    }
+}
+
+/// Rank-update of the `C[ii, jj]` block with `A[ii, kk] * B[kk, jj]`.
+/// Uses an `i-k-j` loop order so the innermost loop is a contiguous AXPY
+/// over rows of `B` and `C`, which LLVM auto-vectorizes.
+fn macro_kernel(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    irange: std::ops::Range<usize>,
+    krange: std::ops::Range<usize>,
+    jrange: std::ops::Range<usize>,
+) {
+    let (j0, j1) = (jrange.start, jrange.end);
+    for i in irange {
+        let arow = a.row(i);
+        // Unroll the reduction dimension by 4 to cut loop overhead.
+        let mut kk = krange.start;
+        while kk + 4 <= krange.end {
+            let (a0, a1, a2, a3) = (
+                alpha * arow[kk],
+                alpha * arow[kk + 1],
+                alpha * arow[kk + 2],
+                alpha * arow[kk + 3],
+            );
+            let b0 = &b.row(kk)[j0..j1];
+            let b1 = &b.row(kk + 1)[j0..j1];
+            let b2 = &b.row(kk + 2)[j0..j1];
+            let b3 = &b.row(kk + 3)[j0..j1];
+            let crow = &mut c.row_mut(i)[j0..j1];
+            for j in 0..crow.len() {
+                crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        while kk < krange.end {
+            let aik = alpha * arow[kk];
+            if aik != 0.0 {
+                let brow = &b.row(kk)[j0..j1];
+                let crow = &mut c.row_mut(i)[j0..j1];
+                for j in 0..crow.len() {
+                    crow[j] += aik * brow[j];
+                }
+            }
+            kk += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        a.matmul(b)
+    }
+
+    #[test]
+    fn gemm_matches_naive_square() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::random(&mut rng, 33, 33);
+        let b = Matrix::random(&mut rng, 33, 33);
+        let mut c = Matrix::zeros(33, 33);
+        gemm(&mut c, 1.0, &a, &b, 0.0);
+        assert!(c.allclose(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_matches_naive_rectangular() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::random(&mut rng, 17, 65);
+        let b = Matrix::random(&mut rng, 65, 9);
+        let mut c = Matrix::zeros(17, 9);
+        gemm(&mut c, 1.0, &a, &b, 0.0);
+        assert!(c.allclose(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::random(&mut rng, 8, 8);
+        let b = Matrix::random(&mut rng, 8, 8);
+        let c0 = Matrix::random(&mut rng, 8, 8);
+        let mut c = c0.clone();
+        gemm(&mut c, 2.0, &a, &b, -1.0);
+        let expect = naive(&a, &b).scale(2.0).sub(&c0);
+        assert!(c.allclose(&expect, 1e-10));
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_garbage() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Matrix::random(&mut rng, 5, 5);
+        let b = Matrix::random(&mut rng, 5, 5);
+        let mut c = Matrix::from_fn(5, 5, |_, _| f64::NAN);
+        gemm(&mut c, 1.0, &a, &b, 0.0);
+        assert!(c.allclose(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_scales_only() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Matrix::random(&mut rng, 4, 4);
+        let b = Matrix::random(&mut rng, 4, 4);
+        let c0 = Matrix::random(&mut rng, 4, 4);
+        let mut c = c0.clone();
+        gemm(&mut c, 0.0, &a, &b, 0.5);
+        assert!(c.allclose(&c0.scale(0.5), 1e-12));
+    }
+
+    #[test]
+    fn gemm_tiny_blocking_matches() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = Matrix::random(&mut rng, 23, 31);
+        let b = Matrix::random(&mut rng, 31, 19);
+        let mut c = Matrix::zeros(23, 19);
+        gemm_blocked(
+            &mut c,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            GemmBlocking {
+                mc: 3,
+                kc: 5,
+                nc: 7,
+            },
+        );
+        assert!(c.allclose(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let a = Matrix::random(&mut rng, 130, 70);
+        let b = Matrix::random(&mut rng, 70, 90);
+        let c0 = Matrix::random(&mut rng, 130, 90);
+        let mut c_serial = c0.clone();
+        gemm(&mut c_serial, 1.5, &a, &b, 0.5);
+        let mut c_par = c0.clone();
+        gemm_parallel(&mut c_par, 1.5, &a, &b, 0.5, 4);
+        assert!(c_par.allclose(&c_serial, 1e-10));
+    }
+
+    #[test]
+    fn gemm_empty_dims() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut c = Matrix::zeros(0, 4);
+        gemm(&mut c, 1.0, &a, &b, 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn matmul_convenience() {
+        let a = Matrix::identity(6);
+        let mut rng = StdRng::seed_from_u64(17);
+        let b = Matrix::random(&mut rng, 6, 6);
+        assert!(matmul(&a, &b).allclose(&b, 1e-12));
+    }
+}

@@ -1,0 +1,36 @@
+//! `denselin` — the dense linear algebra substrate of the COnfLUX
+//! reproduction.
+//!
+//! The paper's implementation links against vendor BLAS/LAPACK; this crate
+//! replaces that dependency with pure-Rust kernels that are fast enough to
+//! validate full factorizations numerically:
+//!
+//! * [`matrix`] — the row-major [`matrix::Matrix`] type,
+//! * [`mod@gemm`] — cache-blocked and crossbeam-parallel matrix multiply,
+//! * [`trsm`] — the four triangular-solve variants LU needs,
+//! * [`lu`] — partial-pivoting LU (unblocked + blocked right-looking),
+//! * [`tournament`] — communication-avoiding tournament pivoting,
+//! * [`blockcyclic`] — ScaLAPACK-style block-cyclic index arithmetic.
+
+#![warn(missing_docs)]
+
+pub mod blockcyclic;
+pub mod cholesky;
+pub mod condition;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod refine;
+pub mod tournament;
+pub mod trsm;
+
+pub use blockcyclic::{BlockCyclic1D, BlockCyclic2D};
+pub use cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
+pub use condition::{condition_estimate, one_norm};
+pub use gemm::{gemm, gemm_parallel, matmul};
+pub use lu::{lu_blocked, lu_unblocked, LuFactorization, SingularMatrix};
+pub use matrix::Matrix;
+pub use qr::{qr_householder, tsqr, QrFactorization};
+pub use refine::solve_refined;
+pub use tournament::{tournament_pivots, PivotSelection};

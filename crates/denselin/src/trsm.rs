@@ -1,0 +1,337 @@
+//! Triangular solves with multiple right-hand sides (BLAS `trsm` substitute).
+//!
+//! The four variants needed by the LU algorithms in this workspace:
+//!
+//! * [`trsm_lower_left`]  — `X <- L^-1 B` (forward substitution),
+//! * [`trsm_upper_left`]  — `X <- U^-1 B` (back substitution),
+//! * [`trsm_upper_right`] — `X <- B U^-1` (used for `A10 <- A10 U00^-1`),
+//! * [`trsm_lower_right`] — `X <- B L^-1`.
+//!
+//! Each has a `unit_diag` flag matching the LAPACK `diag` parameter; LU
+//! stores `L` with an implicit unit diagonal.
+
+use crate::gemm::gemm;
+use crate::matrix::Matrix;
+
+/// Panel width above which the blocked (GEMM-rich) path is taken.
+const BLOCK: usize = 48;
+
+/// Solve `L X = B` in place (`B` is overwritten with `X`). `L` is
+/// `n x n` lower triangular; `B` is `n x nrhs`.
+pub fn trsm_lower_left(l: &Matrix, b: &mut Matrix, unit_diag: bool) {
+    let n = check_left(l, b);
+    if n <= BLOCK {
+        return trsm_lower_left_unblocked(l, b, unit_diag, 0, n);
+    }
+    // Blocked forward substitution: solve a diagonal block, then eliminate
+    // its influence on the rows below with one GEMM.
+    let mut k = 0;
+    while k < n {
+        let kb = BLOCK.min(n - k);
+        trsm_lower_left_unblocked(l, b, unit_diag, k, k + kb);
+        if k + kb < n {
+            let l21 = l.block(k + kb, k, n - k - kb, kb);
+            let x1 = b.block(k, 0, kb, b.cols());
+            let mut b2 = b.block(k + kb, 0, n - k - kb, b.cols());
+            gemm(&mut b2, -1.0, &l21, &x1, 1.0);
+            b.set_block(k + kb, 0, &b2);
+        }
+        k += kb;
+    }
+}
+
+/// Solve `U X = B` in place. `U` is `n x n` upper triangular.
+pub fn trsm_upper_left(u: &Matrix, b: &mut Matrix, unit_diag: bool) {
+    let n = check_left(u, b);
+    if n <= BLOCK {
+        return trsm_upper_left_unblocked(u, b, unit_diag, 0, n);
+    }
+    let mut k = n;
+    while k > 0 {
+        let kb = BLOCK.min(k);
+        trsm_upper_left_unblocked(u, b, unit_diag, k - kb, k);
+        if k - kb > 0 {
+            let u01 = u.block(0, k - kb, k - kb, kb);
+            let x1 = b.block(k - kb, 0, kb, b.cols());
+            let mut b0 = b.block(0, 0, k - kb, b.cols());
+            gemm(&mut b0, -1.0, &u01, &x1, 1.0);
+            b.set_block(0, 0, &b0);
+        }
+        k -= kb;
+    }
+}
+
+/// Solve `X U = B` in place (`B <- B U^-1`). `U` is `n x n` upper
+/// triangular; `B` is `nrhs x n`.
+pub fn trsm_upper_right(b: &mut Matrix, u: &Matrix, unit_diag: bool) {
+    let n = check_right(b, u);
+    if n <= BLOCK {
+        return trsm_upper_right_unblocked(b, u, unit_diag, 0, n);
+    }
+    let mut k = 0;
+    while k < n {
+        let kb = BLOCK.min(n - k);
+        trsm_upper_right_unblocked(b, u, unit_diag, k, k + kb);
+        if k + kb < n {
+            let u12 = u.block(k, k + kb, kb, n - k - kb);
+            let x1 = b.block(0, k, b.rows(), kb);
+            let mut b2 = b.block(0, k + kb, b.rows(), n - k - kb);
+            gemm(&mut b2, -1.0, &x1, &u12, 1.0);
+            b.set_block(0, k + kb, &b2);
+        }
+        k += kb;
+    }
+}
+
+/// Solve `X L = B` in place (`B <- B L^-1`). `L` is `n x n` lower
+/// triangular; `B` is `nrhs x n`.
+pub fn trsm_lower_right(b: &mut Matrix, l: &Matrix, unit_diag: bool) {
+    let n = check_right(b, l);
+    if n <= BLOCK {
+        return trsm_lower_right_unblocked(b, l, unit_diag, 0, n);
+    }
+    let mut k = n;
+    while k > 0 {
+        let kb = BLOCK.min(k);
+        trsm_lower_right_unblocked(b, l, unit_diag, k - kb, k);
+        if k - kb > 0 {
+            let l10 = l.block(k - kb, 0, kb, k - kb);
+            let x1 = b.block(0, k - kb, b.rows(), kb);
+            let mut b0 = b.block(0, 0, b.rows(), k - kb);
+            gemm(&mut b0, -1.0, &x1, &l10, 1.0);
+            b.set_block(0, 0, &b0);
+        }
+        k -= kb;
+    }
+}
+
+fn check_left(t: &Matrix, b: &Matrix) -> usize {
+    let n = t.rows();
+    assert_eq!(t.cols(), n, "triangular factor must be square");
+    assert_eq!(b.rows(), n, "rhs row count must match triangular order");
+    n
+}
+
+fn check_right(b: &Matrix, t: &Matrix) -> usize {
+    let n = t.rows();
+    assert_eq!(t.cols(), n, "triangular factor must be square");
+    assert_eq!(b.cols(), n, "rhs col count must match triangular order");
+    n
+}
+
+/// Forward substitution on rows `lo..hi`, assuming rows `< lo` are solved.
+fn trsm_lower_left_unblocked(l: &Matrix, b: &mut Matrix, unit_diag: bool, lo: usize, hi: usize) {
+    let nrhs = b.cols();
+    for i in lo..hi {
+        for k in lo..i {
+            let lik = l[(i, k)];
+            if lik != 0.0 {
+                let (bi, bk) = row_pair_mut(b, i, k);
+                for j in 0..nrhs {
+                    bi[j] -= lik * bk[j];
+                }
+            }
+        }
+        if !unit_diag {
+            let d = l[(i, i)];
+            assert!(d != 0.0, "singular triangular factor");
+            for x in b.row_mut(i) {
+                *x /= d;
+            }
+        }
+    }
+}
+
+fn trsm_upper_left_unblocked(u: &Matrix, b: &mut Matrix, unit_diag: bool, lo: usize, hi: usize) {
+    let nrhs = b.cols();
+    for ii in (lo..hi).rev() {
+        for k in ii + 1..hi {
+            let uik = u[(ii, k)];
+            if uik != 0.0 {
+                let (bi, bk) = row_pair_mut(b, ii, k);
+                for j in 0..nrhs {
+                    bi[j] -= uik * bk[j];
+                }
+            }
+        }
+        if !unit_diag {
+            let d = u[(ii, ii)];
+            assert!(d != 0.0, "singular triangular factor");
+            for x in b.row_mut(ii) {
+                *x /= d;
+            }
+        }
+    }
+}
+
+fn trsm_upper_right_unblocked(b: &mut Matrix, u: &Matrix, unit_diag: bool, lo: usize, hi: usize) {
+    for j in lo..hi {
+        let d = if unit_diag { 1.0 } else { u[(j, j)] };
+        assert!(d != 0.0, "singular triangular factor");
+        for i in 0..b.rows() {
+            let mut x = b[(i, j)];
+            if !unit_diag {
+                x /= d;
+            }
+            b[(i, j)] = x;
+            // eliminate column j from the remaining columns of row i
+            for k in j + 1..hi {
+                let ujk = u[(j, k)];
+                if ujk != 0.0 {
+                    b[(i, k)] -= x * ujk;
+                }
+            }
+        }
+    }
+}
+
+fn trsm_lower_right_unblocked(b: &mut Matrix, l: &Matrix, unit_diag: bool, lo: usize, hi: usize) {
+    for j in (lo..hi).rev() {
+        let d = if unit_diag { 1.0 } else { l[(j, j)] };
+        assert!(d != 0.0, "singular triangular factor");
+        for i in 0..b.rows() {
+            let mut x = b[(i, j)];
+            if !unit_diag {
+                x /= d;
+            }
+            b[(i, j)] = x;
+            for k in lo..j {
+                let ljk = l[(j, k)];
+                if ljk != 0.0 {
+                    b[(i, k)] -= x * ljk;
+                }
+            }
+        }
+    }
+}
+
+/// Borrow row `target` mutably and row `source` immutably (`target != source`).
+fn row_pair_mut(b: &mut Matrix, target: usize, source: usize) -> (&mut [f64], &[f64]) {
+    debug_assert_ne!(target, source);
+    let nrhs = b.cols();
+    if source < target {
+        let (head, tail) = b.as_mut_slice().split_at_mut(target * nrhs);
+        (&mut tail[..nrhs], &head[source * nrhs..(source + 1) * nrhs])
+    } else {
+        let (head, tail) = b.as_mut_slice().split_at_mut(source * nrhs);
+        (&mut head[target * nrhs..(target + 1) * nrhs], &tail[..nrhs])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_lower(rng: &mut impl Rng, n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                rng.gen_range(-1.0..1.0)
+            } else if i == j {
+                2.0 + rng.gen_range(0.0..1.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn random_upper(rng: &mut impl Rng, n: usize) -> Matrix {
+        random_lower(rng, n).transpose()
+    }
+
+    #[test]
+    fn lower_left_solves() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for n in [1, 2, 7, 60, 129] {
+            let l = random_lower(&mut rng, n);
+            let x = Matrix::random(&mut rng, n, 3);
+            let mut b = matmul(&l, &x);
+            trsm_lower_left(&l, &mut b, false);
+            assert!(b.allclose(&x, 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lower_left_unit_diag_ignores_diagonal() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 70;
+        let mut l = random_lower(&mut rng, n);
+        // Unit-diag solve must read the implicit 1.0, not stored diagonal.
+        let mut lu = l.clone();
+        for i in 0..n {
+            lu[(i, i)] = 1.0;
+        }
+        let x = Matrix::random(&mut rng, n, 2);
+        let mut b = matmul(&lu, &x);
+        for i in 0..n {
+            l[(i, i)] = 1234.5; // poison stored diagonal
+        }
+        trsm_lower_left(&l, &mut b, true);
+        assert!(b.allclose(&x, 1e-8));
+    }
+
+    #[test]
+    fn upper_left_solves() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for n in [1, 3, 50, 140] {
+            let u = random_upper(&mut rng, n);
+            let x = Matrix::random(&mut rng, n, 4);
+            let mut b = matmul(&u, &x);
+            trsm_upper_left(&u, &mut b, false);
+            assert!(b.allclose(&x, 1e-7), "n={n}");
+        }
+    }
+
+    #[test]
+    fn upper_right_solves() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [1, 5, 49, 130] {
+            let u = random_upper(&mut rng, n);
+            let x = Matrix::random(&mut rng, 6, n);
+            let mut b = matmul(&x, &u);
+            trsm_upper_right(&mut b, &u, false);
+            assert!(b.allclose(&x, 1e-7), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lower_right_solves() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for n in [1, 4, 55, 101] {
+            let l = random_lower(&mut rng, n);
+            let x = Matrix::random(&mut rng, 5, n);
+            let mut b = matmul(&x, &l);
+            trsm_lower_right(&mut b, &l, false);
+            assert!(b.allclose(&x, 1e-7), "n={n}");
+        }
+    }
+
+    #[test]
+    fn upper_right_unit_diag() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let n = 64;
+        let mut u = random_upper(&mut rng, n);
+        let mut uu = u.clone();
+        for i in 0..n {
+            uu[(i, i)] = 1.0;
+        }
+        let x = Matrix::random(&mut rng, 3, n);
+        let mut b = matmul(&x, &uu);
+        for i in 0..n {
+            u[(i, i)] = -7.0;
+        }
+        trsm_upper_right(&mut b, &u, true);
+        assert!(b.allclose(&x, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular triangular factor")]
+    fn singular_panics() {
+        let mut l = Matrix::identity(3);
+        l[(1, 1)] = 0.0;
+        let mut b = Matrix::zeros(3, 1);
+        trsm_lower_left(&l, &mut b, false);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the dense linear algebra substrate.
+
+use denselin::cholesky::{cholesky_blocked, cholesky_residual, random_spd};
+use denselin::gemm::{gemm, matmul};
+use denselin::lu::{lu_blocked, lu_unblocked};
+use denselin::matrix::Matrix;
+use denselin::trsm::{trsm_lower_left, trsm_upper_left, trsm_upper_right};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(seed: u64, r: usize, c: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random(&mut rng, r, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_is_linear_in_alpha(seed in 0u64..500, n in 1usize..20) {
+        let a = rand_matrix(seed, n, n);
+        let b = rand_matrix(seed ^ 1, n, n);
+        let mut c1 = Matrix::zeros(n, n);
+        gemm(&mut c1, 2.0, &a, &b, 0.0);
+        let mut c2 = Matrix::zeros(n, n);
+        gemm(&mut c2, 1.0, &a, &b, 0.0);
+        prop_assert!(c1.allclose(&c2.scale(2.0), 1e-10));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(seed in 0u64..500, m in 1usize..12, k in 1usize..12, n in 1usize..12) {
+        let a = rand_matrix(seed, m, k);
+        let b1 = rand_matrix(seed ^ 2, k, n);
+        let b2 = rand_matrix(seed ^ 3, k, n);
+        let lhs = matmul(&a, &b1.add(&b2));
+        let rhs = matmul(&a, &b1).add(&matmul(&a, &b2));
+        prop_assert!(lhs.allclose(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn gemm_associates_with_transpose(seed in 0u64..500, m in 1usize..10, n in 1usize..10) {
+        // (A * B)^T == B^T * A^T
+        let a = rand_matrix(seed, m, n);
+        let b = rand_matrix(seed ^ 4, n, m);
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.allclose(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn trsm_inverts_triangular_products(seed in 0u64..500, n in 1usize..30, rhs in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j { rng.gen_range(-0.5..0.5) } else if i == j { 1.5 } else { 0.0 }
+        });
+        let x = Matrix::random(&mut rng, n, rhs);
+        let mut b = matmul(&l, &x);
+        trsm_lower_left(&l, &mut b, false);
+        prop_assert!(b.allclose(&x, 1e-7));
+        // and the transposed path
+        let u = l.transpose();
+        let mut b2 = matmul(&u, &x);
+        trsm_upper_left(&u, &mut b2, false);
+        prop_assert!(b2.allclose(&x, 1e-7));
+        let y = Matrix::random(&mut rng, rhs, n);
+        let mut b3 = matmul(&y, &u);
+        trsm_upper_right(&mut b3, &u, false);
+        prop_assert!(b3.allclose(&y, 1e-7));
+    }
+
+    #[test]
+    fn lu_determinant_matches_permutation_parity(seed in 0u64..500, n in 2usize..12) {
+        // det(PA) = det(L)det(U) = prod(diag U); det(A) = sign * that
+        let a = rand_matrix(seed, n, n);
+        if let Ok(f) = lu_unblocked(&a) {
+            // cross-check with the blocked variant
+            let fb = lu_blocked(&a, 3).unwrap();
+            prop_assert!((f.determinant() - fb.determinant()).abs()
+                <= 1e-6 * f.determinant().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn lu_solve_inverts(seed in 0u64..500, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let x = Matrix::random(&mut rng, n, 2);
+        let b = a.matmul(&x);
+        let f = lu_unblocked(&a).unwrap();
+        prop_assert!(f.solve(&b).allclose(&x, 1e-7));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(seed in 0u64..500, n in 1usize..24, nb in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        let l = cholesky_blocked(&a, nb).unwrap();
+        prop_assert!(cholesky_residual(&a, &l) < 1e-10);
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_data(
+        seed in 0u64..500,
+        rows in 1usize..16,
+        cols in 1usize..16,
+        r0 in 0usize..8,
+        c0 in 0usize..8,
+    ) {
+        let big = rand_matrix(seed, rows + r0 + 2, cols + c0 + 2);
+        let block = big.block(r0, c0, rows, cols);
+        let mut copy = big.clone();
+        copy.set_block(r0, c0, &block);
+        prop_assert_eq!(copy, big);
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-validation of the symbolic bounds against executable pebbling.
+//!
+//! The `pebbling` crate can *run* schedules; this module checks, on small
+//! instances, that every valid schedule's measured `Q` dominates the bound
+//! the symbolic machinery produces — the soundness property lower bounds
+//! must have. (Tightness is checked separately: blocked schedules come
+//! within small constant factors.)
+
+use pebbling::builders::{lu_cdag, mmm_cdag};
+use pebbling::game::{execute, greedy_schedule_with_order};
+use pebbling::schedule::{lu_right_looking_order, mmm_tiled_order};
+
+use crate::kernels::{lu_bound, mmm_bound};
+
+/// Measured I/O of a blocked MMM schedule vs the symbolic bound.
+/// Returns `(q_measured, q_bound)`.
+pub fn mmm_schedule_vs_bound(n: usize, m: usize, tile: usize) -> (f64, f64) {
+    let g = mmm_cdag(n);
+    let order = mmm_tiled_order(n, tile);
+    let moves = greedy_schedule_with_order(&g, m, &order);
+    let stats = execute(&g, &moves, m).expect("schedule invalid");
+    assert!(stats.complete);
+    (stats.q() as f64, mmm_bound(n as f64, m as f64))
+}
+
+/// Measured I/O of the right-looking LU schedule vs the symbolic bound.
+/// Returns `(q_measured, q_bound)`.
+pub fn lu_schedule_vs_bound(n: usize, m: usize) -> (f64, f64) {
+    let (g, groups) = lu_cdag(n);
+    let order = lu_right_looking_order(&groups);
+    let moves = greedy_schedule_with_order(&g, m, &order);
+    let stats = execute(&g, &moves, m).expect("schedule invalid");
+    assert!(stats.complete);
+    (stats.q() as f64, lu_bound(n as f64, m as f64).q_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmm_bound_is_sound_on_small_instances() {
+        for (n, m, t) in [(4, 8, 2), (6, 12, 2), (8, 14, 2), (8, 27, 3)] {
+            let (q, bound) = mmm_schedule_vs_bound(n, m, t);
+            assert!(
+                q >= bound,
+                "schedule beat the lower bound! n={n} m={m} q={q} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn mmm_bound_is_reasonably_tight() {
+        // a well-tiled schedule should be within a modest constant factor
+        let (q, bound) = mmm_schedule_vs_bound(8, 14, 2);
+        assert!(q <= 8.0 * bound, "bound too loose: q={q} bound={bound}");
+    }
+
+    #[test]
+    fn lu_bound_is_sound_on_small_instances() {
+        for (n, m) in [(4, 10), (6, 14), (8, 20), (10, 30)] {
+            let (q, bound) = lu_schedule_vs_bound(n, m);
+            assert!(
+                q >= bound,
+                "schedule beat the lower bound! n={n} m={m} q={q} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_bound_is_reasonably_tight() {
+        let (q, bound) = lu_schedule_vs_bound(8, 20);
+        assert!(q <= 12.0 * bound, "bound too loose: q={q} bound={bound}");
+    }
+}

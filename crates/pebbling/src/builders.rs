@@ -1,0 +1,252 @@
+//! Parametric cDAG builders for the kernels discussed in the paper.
+//!
+//! These make the paper's figures concrete: [`lu_cdag`] is Figure 1/Figure 4,
+//! [`mmm_cdag`] is the classic Hong–Kung matrix-multiplication graph, and
+//! [`fig2a_cdag`]/[`fig2b_cdag`] are the out-degree-one examples of Figure 2.
+
+// Index-based loops mirror the paper's loop-nest notation directly.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cdag::{CDag, VersionTracker, VertexId};
+
+/// Vertices of the LU cDAG grouped by the block structure of Figure 4.
+#[derive(Clone, Debug, Default)]
+pub struct LuVertexGroups {
+    /// Initial versions of the matrix elements (graph inputs).
+    pub inputs: Vec<VertexId>,
+    /// S1 vertices `A[i,k] / A[k,k]` (column updates), by elimination step.
+    pub s1: Vec<Vec<VertexId>>,
+    /// S2 vertices `A[i,j] - A[i,k]*A[k,j]` (trailing updates), by step.
+    pub s2: Vec<Vec<VertexId>>,
+}
+
+/// Build the in-place LU factorization cDAG (no pivoting) of an `n x n`
+/// matrix, as in Figure 1:
+///
+/// ```text
+/// for k = 1..n
+///   S1: for i = k+1..n:            A[i,k] <- A[i,k] / A[k,k]
+///   S2: for i,j = k+1..n:          A[i,j] <- A[i,j] - A[i,k]*A[k,j]
+/// ```
+///
+/// Each update creates a *new version vertex*; the returned groups expose
+/// the statement structure for the block-dependency tests of Figure 4.
+pub fn lu_cdag(n: usize) -> (CDag, LuVertexGroups) {
+    let mut g = CDag::new();
+    let mut cur = VersionTracker::new();
+    let mut groups = LuVertexGroups::default();
+
+    for i in 0..n {
+        for j in 0..n {
+            let v = g.add_vertex(format!("A({i},{j})#0"));
+            cur.set(i, j, v);
+            groups.inputs.push(v);
+        }
+    }
+
+    for k in 0..n {
+        let mut s1_step = Vec::new();
+        for i in k + 1..n {
+            let v = g.add_vertex(format!("L({i},{k})"));
+            g.add_edge(cur.get(i, k), v);
+            g.add_edge(cur.get(k, k), v);
+            cur.set(i, k, v);
+            s1_step.push(v);
+        }
+        let mut s2_step = Vec::new();
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let v = g.add_vertex(format!("A({i},{j})#{}", k + 1));
+                g.add_edge(cur.get(i, j), v);
+                g.add_edge(cur.get(i, k), v); // L(i,k)
+                g.add_edge(cur.get(k, j), v); // U(k,j) = current A(k,j)
+                cur.set(i, j, v);
+                s2_step.push(v);
+            }
+        }
+        groups.s1.push(s1_step);
+        groups.s2.push(s2_step);
+    }
+    (g, groups)
+}
+
+/// Build the matrix-multiplication cDAG `C = A * B` for `n x n` operands,
+/// with the `C[i,j]` reduction expanded as a chain of partial sums
+/// (`n³` multiply-accumulate vertices).
+pub fn mmm_cdag(n: usize) -> CDag {
+    let mut g = CDag::new();
+    let mut a = vec![vec![0 as VertexId; n]; n];
+    let mut b = vec![vec![0 as VertexId; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            a[i][k] = g.add_vertex(format!("A({i},{k})"));
+        }
+    }
+    for k in 0..n {
+        for j in 0..n {
+            b[k][j] = g.add_vertex(format!("B({k},{j})"));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut prev: Option<VertexId> = None;
+            for k in 0..n {
+                let v = g.add_vertex(format!("C({i},{j})#{k}"));
+                g.add_edge(a[i][k], v);
+                g.add_edge(b[k][j], v);
+                if let Some(p) = prev {
+                    g.add_edge(p, v);
+                }
+                prev = Some(v);
+            }
+        }
+    }
+    g
+}
+
+/// Figure 2a: `C[i,j] = f(A[i,j], b[j])` — every compute vertex consumes one
+/// out-degree-one input (`A[i,j]`) and one shared input (`b[j]`), so `u = 1`
+/// and the computational intensity is bounded by `ρ ≤ 1`.
+pub fn fig2a_cdag(n: usize) -> CDag {
+    let mut g = CDag::new();
+    let mut a = vec![vec![0 as VertexId; n]; n];
+    let mut b = vec![0 as VertexId; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = g.add_vertex(format!("A({i},{j})"));
+        }
+    }
+    for (j, bj) in b.iter_mut().enumerate() {
+        *bj = g.add_vertex(format!("b({j})"));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let v = g.add_vertex(format!("C({i},{j})"));
+            g.add_edge(a[i][j], v);
+            g.add_edge(b[j], v);
+        }
+    }
+    g
+}
+
+/// Figure 2b: `c[i] = f(a[i], b[i])` — every compute vertex consumes two
+/// out-degree-one inputs, so `u = 2` and `ρ ≤ 1/2`.
+pub fn fig2b_cdag(n: usize) -> CDag {
+    let mut g = CDag::new();
+    let a: Vec<VertexId> = (0..n).map(|i| g.add_vertex(format!("a({i})"))).collect();
+    let b: Vec<VertexId> = (0..n).map(|i| g.add_vertex(format!("b({i})"))).collect();
+    for i in 0..n {
+        let v = g.add_vertex(format!("c({i})"));
+        g.add_edge(a[i], v);
+        g.add_edge(b[i], v);
+    }
+    g
+}
+
+/// Expected vertex counts of [`lu_cdag`]: `(inputs, s1, s2)`.
+///
+/// `|S1| = Σ_{k=1..n}(n-k) = n(n-1)/2` and
+/// `|S2| = Σ_{k=1..n}(n-k)² = n(n-1)(2n-1)/6`.
+pub fn lu_vertex_counts(n: usize) -> (usize, usize, usize) {
+    let inputs = n * n;
+    let s1 = n * (n - 1) / 2;
+    let s2 = n * (n - 1) * (2 * n - 1) / 6;
+    (inputs, s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_counts_match_formula() {
+        for n in [1, 2, 3, 4, 6, 10] {
+            let (g, groups) = lu_cdag(n);
+            let (inp, s1, s2) = lu_vertex_counts(n);
+            assert_eq!(groups.inputs.len(), inp);
+            assert_eq!(groups.s1.iter().map(Vec::len).sum::<usize>(), s1, "n={n}");
+            assert_eq!(groups.s2.iter().map(Vec::len).sum::<usize>(), s2, "n={n}");
+            assert_eq!(g.len(), inp + s1 + s2);
+        }
+    }
+
+    #[test]
+    fn lu_cdag_is_acyclic_with_correct_io() {
+        let (g, _) = lu_cdag(4);
+        let _ = g.topological_order(); // panics on cycles
+                                       // inputs are exactly the n^2 initial versions
+        assert_eq!(g.inputs().len(), 16);
+    }
+
+    #[test]
+    fn lu_s1_vertices_have_two_preds_s2_three() {
+        let (g, groups) = lu_cdag(5);
+        for step in &groups.s1 {
+            for &v in step {
+                assert_eq!(g.preds(v).len(), 2);
+            }
+        }
+        for step in &groups.s2 {
+            for &v in step {
+                assert_eq!(g.preds(v).len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_final_versions_are_outputs() {
+        let (g, _) = lu_cdag(3);
+        // A(2,2) is updated at k=0 and k=1; version #2 is the final U(2,2)
+        // and nothing consumes it.
+        let u22 = g.find("A(2,2)#2").unwrap();
+        assert_eq!(g.succs(u22).len(), 0);
+        // L(2,1) feeds exactly the k=1 trailing update of A(2,2).
+        let l21 = g.find("L(2,1)").unwrap();
+        assert_eq!(g.succs(l21), &[u22]);
+    }
+
+    #[test]
+    fn mmm_counts() {
+        for n in [1, 2, 3, 5] {
+            let g = mmm_cdag(n);
+            assert_eq!(g.len(), 2 * n * n + n * n * n);
+            assert_eq!(g.inputs().len(), 2 * n * n);
+            assert_eq!(g.outputs().len(), n * n);
+            let _ = g.topological_order();
+        }
+    }
+
+    #[test]
+    fn mmm_chain_structure() {
+        let g = mmm_cdag(3);
+        let c_last = g.find("C(1,1)#2").unwrap();
+        // preds: A(1,2), B(2,1), C(1,1)#1
+        assert_eq!(g.preds(c_last).len(), 3);
+    }
+
+    #[test]
+    fn fig2a_has_u_equal_one() {
+        let g = fig2a_cdag(4);
+        assert_eq!(g.min_outdegree_one_input_preds(), 1);
+    }
+
+    #[test]
+    fn fig2b_has_u_equal_two() {
+        let g = fig2b_cdag(4);
+        assert_eq!(g.min_outdegree_one_input_preds(), 2);
+    }
+
+    #[test]
+    fn lu_first_s1_vertex_has_only_input_preds() {
+        // Lemma 6 applies to S1: A(i,0) inputs have out-degree... A(i,0) is
+        // consumed by L(i,0) only (out-degree 1), A(0,0) by all L(i,0).
+        let (g, groups) = lu_cdag(4);
+        let v = groups.s1[0][0]; // L(1,0)
+        let outdeg1_inputs = g
+            .preds(v)
+            .iter()
+            .filter(|&&p| g.preds(p).is_empty() && g.out_degree(p) == 1)
+            .count();
+        assert_eq!(outdeg1_inputs, 1);
+    }
+}

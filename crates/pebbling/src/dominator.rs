@@ -1,0 +1,274 @@
+//! Minimum dominator sets and minimum sets (Section 2.3.2).
+//!
+//! `Dom(V_h)` — every path from a graph input into `V_h` must contain a
+//! vertex of the set. The *minimum* dominator set size equals (by Menger's
+//! theorem) the minimum vertex cut separating the inputs from `V_h`, which
+//! we compute exactly with Dinic's max-flow on the vertex-split graph.
+//!
+//! `Min(V_h)` — the vertices of `V_h` with no direct successor inside `V_h`.
+
+use std::collections::VecDeque;
+
+use crate::cdag::{CDag, VertexId};
+
+/// Compute `Min(V_h)`: members of `subset` without successors in `subset`.
+pub fn minimum_set(g: &CDag, subset: &[VertexId]) -> Vec<VertexId> {
+    let mut in_subset = vec![false; g.len()];
+    for &v in subset {
+        in_subset[v as usize] = true;
+    }
+    subset
+        .iter()
+        .copied()
+        .filter(|&v| !g.succs(v).iter().any(|&s| in_subset[s as usize]))
+        .collect()
+}
+
+/// Size of the minimum dominator set of `subset` (exact, via max-flow).
+///
+/// Every vertex has unit capacity (vertex-disjoint paths); the answer is the
+/// max number of vertex-disjoint input-to-subset paths. Vertices of `subset`
+/// itself may serve as dominators (capacity 1), matching the definition used
+/// in the paper where `Dom(V_h)` may intersect `V_h`.
+pub fn min_dominator_size(g: &CDag, subset: &[VertexId]) -> usize {
+    if subset.is_empty() {
+        return 0;
+    }
+    let n = g.len();
+    let mut in_subset = vec![false; n];
+    for &v in subset {
+        in_subset[v as usize] = true;
+    }
+
+    // Vertex split: node 2v = v_in, 2v+1 = v_out, edge v_in->v_out cap 1.
+    // Original edge (u, w): u_out -> w_in cap INF.
+    // Source S -> v_in for every graph input v, cap INF.
+    // v_out -> sink T for v in subset... but careful: paths must *enter*
+    // V_h; a path ending at the first subset vertex it reaches suffices.
+    // Connecting every subset vertex's v_out to T would let flow pass
+    // *through* one subset vertex into another and count twice; capacity 1
+    // on the split edge prevents reuse, and extra flow entering deeper
+    // subset vertices still corresponds to a distinct vertex-disjoint path
+    // entering V_h, which a dominator must also intercept. We connect
+    // v_in -> T for subset vertices instead, so that a subset vertex used
+    // as a path endpoint can still be cut via its own split edge:
+    // S -...-> v_in -> v_out(cap 1 before T)? Simplest correct reduction:
+    // subset vertex v gets edge v_out -> T with cap INF, and its split edge
+    // keeps cap 1 so cutting v itself is always available.
+    let s = 2 * n;
+    let t = 2 * n + 1;
+    let mut dinic = Dinic::new(2 * n + 2);
+    const INF: u32 = u32::MAX / 2;
+    for v in 0..n {
+        dinic.add_edge(2 * v, 2 * v + 1, 1);
+    }
+    for v in 0..n as VertexId {
+        for &w in g.succs(v) {
+            dinic.add_edge(2 * v as usize + 1, 2 * w as usize, INF);
+        }
+    }
+    for v in g.inputs() {
+        dinic.add_edge(s, 2 * v as usize, INF);
+    }
+    for &v in subset {
+        dinic.add_edge(2 * v as usize + 1, t, INF);
+    }
+    dinic.max_flow(s, t) as usize
+}
+
+/// Dinic's max-flow on a unit/INF-capacity graph (small graphs only).
+struct Dinic {
+    // adjacency: per node, list of edge indices
+    adj: Vec<Vec<usize>>,
+    // edges stored as (to, cap); reverse edge at index^1
+    to: Vec<usize>,
+    cap: Vec<u32>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, c: u32) {
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[u].push(e);
+        self.to.push(u);
+        self.cap.push(0);
+        self.adj[v].push(e + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.fill(-1);
+        let mut q = VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                if self.cap[e] > 0 && self.level[self.to[e]] < 0 {
+                    self.level[self.to[e]] = self.level[u] + 1;
+                    q.push_back(self.to[e]);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: u32) -> u32 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.adj[u].len() {
+            let e = self.adj[u][self.iter[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && self.level[v] == self.level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> u32 {
+        let mut flow = 0;
+        while self.bfs(s, t) {
+            self.iter.fill(0);
+            loop {
+                let f = self.dfs(s, t, u32::MAX / 2);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{lu_cdag, mmm_cdag};
+
+    #[test]
+    fn minimum_set_excludes_internal_vertices() {
+        // chain a -> b -> c; subset {b, c}: only c is in Min
+        let mut g = CDag::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        assert_eq!(minimum_set(&g, &[b, c]), vec![c]);
+        assert_eq!(minimum_set(&g, &[b]), vec![b]);
+    }
+
+    #[test]
+    fn dominator_of_single_vertex_is_its_cut() {
+        // diamond: a -> b, a -> c, b -> d, c -> d; Dom({d}) = {d} or {b,c}
+        // or {a}: minimum is 1 (cut at a or d).
+        let mut g = CDag::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        let d = g.add_vertex("d");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        assert_eq!(min_dominator_size(&g, &[d]), 1);
+        // {b, c} needs to intercept two vertex-disjoint paths? No: both
+        // paths go through a, so cutting a suffices.
+        assert_eq!(min_dominator_size(&g, &[b, c]), 1);
+    }
+
+    #[test]
+    fn independent_inputs_need_independent_dominators() {
+        // x1 -> y1, x2 -> y2: Dom({y1, y2}) = 2
+        let mut g = CDag::new();
+        let x1 = g.add_vertex("x1");
+        let y1 = g.add_vertex("y1");
+        let x2 = g.add_vertex("x2");
+        let y2 = g.add_vertex("y2");
+        g.add_edge(x1, y1);
+        g.add_edge(x2, y2);
+        assert_eq!(min_dominator_size(&g, &[y1, y2]), 2);
+        assert_eq!(min_dominator_size(&g, &[y1]), 1);
+    }
+
+    #[test]
+    fn empty_subset_has_empty_dominator() {
+        let g = mmm_cdag(2);
+        assert_eq!(min_dominator_size(&g, &[]), 0);
+    }
+
+    #[test]
+    fn input_vertices_dominate_themselves() {
+        let mut g = CDag::new();
+        let x = g.add_vertex("x");
+        let y = g.add_vertex("y");
+        g.add_edge(x, y);
+        // subset containing an input: the input itself is a length-0 path
+        assert_eq!(min_dominator_size(&g, &[x]), 1);
+        assert_eq!(min_dominator_size(&g, &[x, y]), 1);
+    }
+
+    #[test]
+    fn mmm_single_product_dominator() {
+        // Under the literal path-cover definition a subset vertex may
+        // dominate itself, so any singleton has Dom_min = 1.
+        let g = mmm_cdag(2);
+        let c0 = g.find("C(0,0)#0").unwrap();
+        assert_eq!(min_dominator_size(&g, &[c0]), 1);
+        // The two-vertex chain {C(0,0)#0, C(0,0)#1}: both are entry
+        // vertices (each consumes graph inputs directly), so the cheapest
+        // cover is the chain itself — size 2. Covering from outside would
+        // need all four A/B inputs.
+        let c1 = g.find("C(0,0)#1").unwrap();
+        assert_eq!(min_dominator_size(&g, &[c0, c1]), 2);
+    }
+
+    #[test]
+    fn lu_full_graph_dominated_by_inputs() {
+        let (g, groups) = lu_cdag(3);
+        let all_compute: Vec<VertexId> = groups
+            .s1
+            .iter()
+            .chain(&groups.s2)
+            .flatten()
+            .copied()
+            .collect();
+        let dom = min_dominator_size(&g, &all_compute);
+        // The whole computation is dominated by the n^2 = 9 inputs; the
+        // exact minimum equals the max number of vertex-disjoint
+        // input-to-compute paths, which is at least the n(n-1) = 6 paths
+        // A(i,j) -> first-update(i,j) for i or j > 0.
+        assert!(dom <= 9, "dominator larger than the input set: {dom}");
+        assert!(dom >= 6, "dominator unreasonably small: {dom}");
+    }
+
+    #[test]
+    fn dominator_monotone_under_subset_growth_is_not_required_but_bounded() {
+        // sanity: Dom of a subset never exceeds |inputs| or |subset| paths
+        let g = mmm_cdag(3);
+        let outputs = g.outputs();
+        let dom = min_dominator_size(&g, &outputs);
+        assert!(dom <= g.inputs().len());
+        assert!(dom >= 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz DOT export for cDAGs — renders the paper's Figure 1/4 style
+//! diagrams (inputs as boxes, compute vertices as circles, optional
+//! highlighting of a subcomputation and its dominator).
+
+use std::fmt::Write as _;
+
+use crate::cdag::{CDag, VertexId};
+
+/// Options controlling the DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Vertices to fill (e.g. one subcomputation `V_h`).
+    pub highlight: Vec<VertexId>,
+    /// Vertices to outline in bold (e.g. `Dom(V_h)`).
+    pub outline: Vec<VertexId>,
+    /// Graph title.
+    pub title: String,
+}
+
+/// Render the cDAG as a DOT digraph.
+pub fn to_dot(g: &CDag, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cdag {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", opts.title.replace('"', "'"));
+    }
+    let highlight: std::collections::HashSet<_> = opts.highlight.iter().copied().collect();
+    let outline: std::collections::HashSet<_> = opts.outline.iter().copied().collect();
+    for v in 0..g.len() as VertexId {
+        let mut attrs = Vec::new();
+        attrs.push(format!("label=\"{}\"", g.label(v).replace('"', "'")));
+        if g.preds(v).is_empty() {
+            attrs.push("shape=box".to_string());
+        } else {
+            attrs.push("shape=ellipse".to_string());
+        }
+        if highlight.contains(&v) {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=lightblue".to_string());
+        }
+        if outline.contains(&v) {
+            attrs.push("penwidth=3".to_string());
+        }
+        let _ = writeln!(out, "  v{} [{}];", v, attrs.join(", "));
+    }
+    for v in 0..g.len() as VertexId {
+        for &s in g.succs(v) {
+            let _ = writeln!(out, "  v{v} -> v{s};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{lu_cdag, mmm_cdag};
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = mmm_cdag(2);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        for v in 0..g.len() as u32 {
+            assert!(dot.contains(&format!("v{v} [")), "missing vertex {v}");
+        }
+        let edge_count = dot.matches(" -> ").count();
+        let expected: usize = (0..g.len() as u32).map(|v| g.succs(v).len()).sum();
+        assert_eq!(edge_count, expected);
+    }
+
+    #[test]
+    fn inputs_are_boxes_computes_are_ellipses() {
+        let (g, groups) = lu_cdag(2);
+        let dot = to_dot(&g, &DotOptions::default());
+        let input = groups.inputs[0];
+        let compute = groups.s1[0][0];
+        let input_line = dot
+            .lines()
+            .find(|l| l.contains(&format!("v{input} [")))
+            .unwrap();
+        assert!(input_line.contains("shape=box"));
+        let compute_line = dot
+            .lines()
+            .find(|l| l.contains(&format!("v{compute} [")))
+            .unwrap();
+        assert!(compute_line.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn highlighting_applies() {
+        let (g, groups) = lu_cdag(2);
+        let opts = DotOptions {
+            highlight: groups.s2[0].clone(),
+            outline: groups.inputs.clone(),
+            title: "LU n=2".to_string(),
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("penwidth=3"));
+        assert!(dot.contains("label=\"LU n=2\""));
+    }
+}

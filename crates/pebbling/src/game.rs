@@ -1,0 +1,457 @@
+//! The sequential red-blue pebble game (Hong & Kung) — executor, validator,
+//! and a Belady-eviction greedy scheduler.
+//!
+//! The game rules (Section 2.3.1):
+//! 1. *load*    — place a red pebble on a vertex holding a blue pebble;
+//! 2. *store*   — place a blue pebble on a vertex holding a red pebble;
+//! 3. *compute* — place a red pebble on a vertex whose direct predecessors
+//!    all hold red pebbles;
+//! 4. *discard* — remove any pebble.
+//!
+//! At most `M` red pebbles may be on the graph at any time. Initially all
+//! inputs hold blue pebbles; the goal is blue pebbles on all outputs while
+//! minimizing the number of loads + stores (`Q`).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::cdag::{CDag, VertexId};
+
+/// One move of the red-blue pebble game.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// Rule 1: slow -> fast memory.
+    Load(VertexId),
+    /// Rule 2: fast -> slow memory.
+    Store(VertexId),
+    /// Rule 3: evaluate a vertex in fast memory.
+    Compute(VertexId),
+    /// Rule 4a: remove the red pebble.
+    DiscardRed(VertexId),
+    /// Rule 4b: remove the blue pebble.
+    DiscardBlue(VertexId),
+}
+
+/// Violation of the game rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GameError {
+    /// Load of a vertex without a blue pebble.
+    LoadWithoutBlue(VertexId),
+    /// Store of a vertex without a red pebble.
+    StoreWithoutRed(VertexId),
+    /// Compute with some predecessor not red-pebbled.
+    MissingPredecessor {
+        /// Vertex being computed.
+        vertex: VertexId,
+        /// The predecessor lacking a red pebble.
+        missing: VertexId,
+    },
+    /// More than `M` red pebbles would be on the graph.
+    RedBudgetExceeded {
+        /// Vertex whose pebbling exceeded the budget.
+        vertex: VertexId,
+    },
+    /// Discard of a pebble that is not present.
+    DiscardMissing(VertexId),
+}
+
+/// Result of executing a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GameStats {
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+    /// Compute moves performed.
+    pub computes: u64,
+    /// Whether every output vertex holds a blue pebble at the end.
+    pub complete: bool,
+}
+
+impl GameStats {
+    /// The I/O cost `Q = loads + stores`.
+    pub fn q(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// Execute `moves` on `g` with `m` red pebbles, validating every rule.
+pub fn execute(g: &CDag, moves: &[Move], m: usize) -> Result<GameStats, GameError> {
+    let n = g.len();
+    let mut red = vec![false; n];
+    let mut blue = vec![false; n];
+    for v in g.inputs() {
+        blue[v as usize] = true;
+    }
+    let mut red_count = 0usize;
+    let mut stats = GameStats {
+        loads: 0,
+        stores: 0,
+        computes: 0,
+        complete: false,
+    };
+
+    for &mv in moves {
+        match mv {
+            Move::Load(v) => {
+                if !blue[v as usize] {
+                    return Err(GameError::LoadWithoutBlue(v));
+                }
+                if !red[v as usize] {
+                    red_count += 1;
+                    if red_count > m {
+                        return Err(GameError::RedBudgetExceeded { vertex: v });
+                    }
+                    red[v as usize] = true;
+                }
+                stats.loads += 1;
+            }
+            Move::Store(v) => {
+                if !red[v as usize] {
+                    return Err(GameError::StoreWithoutRed(v));
+                }
+                blue[v as usize] = true;
+                stats.stores += 1;
+            }
+            Move::Compute(v) => {
+                for &p in g.preds(v) {
+                    if !red[p as usize] {
+                        return Err(GameError::MissingPredecessor {
+                            vertex: v,
+                            missing: p,
+                        });
+                    }
+                }
+                if !red[v as usize] {
+                    red_count += 1;
+                    if red_count > m {
+                        return Err(GameError::RedBudgetExceeded { vertex: v });
+                    }
+                    red[v as usize] = true;
+                }
+                stats.computes += 1;
+            }
+            Move::DiscardRed(v) => {
+                if !red[v as usize] {
+                    return Err(GameError::DiscardMissing(v));
+                }
+                red[v as usize] = false;
+                red_count -= 1;
+            }
+            Move::DiscardBlue(v) => {
+                if !blue[v as usize] {
+                    return Err(GameError::DiscardMissing(v));
+                }
+                blue[v as usize] = false;
+            }
+        }
+    }
+    stats.complete = g.outputs().iter().all(|&v| blue[v as usize]);
+    Ok(stats)
+}
+
+/// Produce a valid complete pebbling of `g` with `m` red pebbles using a
+/// topological compute order and Belady (furthest-next-use) eviction.
+///
+/// ```
+/// use pebbling::{builders::mmm_cdag, game::{execute, greedy_schedule}};
+/// let g = mmm_cdag(3);
+/// let moves = greedy_schedule(&g, 16);
+/// let stats = execute(&g, &moves, 16).unwrap();
+/// assert!(stats.complete);
+/// assert_eq!(stats.computes, 27); // n³ multiply-accumulates
+/// ```
+///
+/// The returned schedule's `Q` is an *upper bound* on the optimal I/O; for
+/// well-blocked orders it is within a constant factor of the lower bounds
+/// derived by the `iobound` crate (tested there).
+///
+/// # Panics
+/// Panics if `m` is smaller than `max in-degree + 1` (no valid schedule
+/// exists below that).
+pub fn greedy_schedule(g: &CDag, m: usize) -> Vec<Move> {
+    greedy_schedule_with_order(g, m, &g.topological_order())
+}
+
+/// [`greedy_schedule`] with a caller-chosen compute order (must be a
+/// topological order of the compute vertices; inputs may be omitted).
+pub fn greedy_schedule_with_order(g: &CDag, m: usize, order: &[VertexId]) -> Vec<Move> {
+    let n = g.len();
+    let max_indeg = (0..n as VertexId)
+        .map(|v| g.preds(v).len())
+        .max()
+        .unwrap_or(0);
+    assert!(m > max_indeg, "need at least max in-degree + 1 red pebbles");
+
+    let compute_order: Vec<VertexId> = order
+        .iter()
+        .copied()
+        .filter(|&v| !g.preds(v).is_empty())
+        .collect();
+
+    // Position of each compute step, for next-use queries.
+    let mut use_times: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+    for (t, &v) in compute_order.iter().enumerate() {
+        for &p in g.preds(v) {
+            use_times[p as usize].push_back(t);
+        }
+    }
+
+    let is_output: Vec<bool> = {
+        let mut f = vec![false; n];
+        for v in g.outputs() {
+            f[v as usize] = true;
+        }
+        f
+    };
+
+    let mut red = vec![false; n];
+    let mut blue = vec![false; n];
+    for v in g.inputs() {
+        blue[v as usize] = true;
+    }
+    let mut red_count = 0usize;
+    let mut moves = Vec::new();
+
+    // Max-heap of (next_use, vertex) for eviction. Entries may be stale;
+    // validated against `use_times` on pop.
+    let mut evict_heap: BinaryHeap<(usize, VertexId)> = BinaryHeap::new();
+
+    let next_use = |use_times: &[VecDeque<usize>], v: VertexId, now: usize| -> usize {
+        use_times[v as usize]
+            .front()
+            .copied()
+            .filter(|&t| t >= now)
+            .unwrap_or(usize::MAX)
+    };
+
+    for (t, &v) in compute_order.iter().enumerate() {
+        // Ensure all predecessors are red.
+        for &p in g.preds(v) {
+            // retire past uses
+            while use_times[p as usize].front().is_some_and(|&u| u < t) {
+                use_times[p as usize].pop_front();
+            }
+            if !red[p as usize] {
+                debug_assert!(
+                    blue[p as usize],
+                    "pred neither red nor blue: recompute unsupported"
+                );
+                make_room(
+                    g,
+                    m,
+                    t,
+                    &mut red,
+                    &mut blue,
+                    &mut red_count,
+                    &mut evict_heap,
+                    &mut moves,
+                    &use_times,
+                    &is_output,
+                    &next_use,
+                );
+                moves.push(Move::Load(p));
+                red[p as usize] = true;
+                red_count += 1;
+                evict_heap.push((next_use(&use_times, p, t), p));
+            }
+        }
+        // Room for v itself.
+        make_room(
+            g,
+            m,
+            t,
+            &mut red,
+            &mut blue,
+            &mut red_count,
+            &mut evict_heap,
+            &mut moves,
+            &use_times,
+            &is_output,
+            &next_use,
+        );
+        moves.push(Move::Compute(v));
+        red[v as usize] = true;
+        red_count += 1;
+        // consume this use from each predecessor
+        for &p in g.preds(v) {
+            if use_times[p as usize].front() == Some(&t) {
+                use_times[p as usize].pop_front();
+            }
+            // refresh heap entry
+            if red[p as usize] {
+                evict_heap.push((next_use(&use_times, p, t + 1), p));
+            }
+        }
+        evict_heap.push((next_use(&use_times, v, t + 1), v));
+    }
+
+    // Store all outputs still lacking blue pebbles.
+    for v in g.outputs() {
+        if !blue[v as usize] {
+            debug_assert!(red[v as usize]);
+            moves.push(Move::Store(v));
+            blue[v as usize] = true;
+        }
+    }
+    moves
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_room(
+    g: &CDag,
+    m: usize,
+    now: usize,
+    red: &mut [bool],
+    blue: &mut [bool],
+    red_count: &mut usize,
+    evict_heap: &mut BinaryHeap<(usize, VertexId)>,
+    moves: &mut Vec<Move>,
+    use_times: &[VecDeque<usize>],
+    is_output: &[bool],
+    next_use: &impl Fn(&[VecDeque<usize>], VertexId, usize) -> usize,
+) {
+    while *red_count >= m {
+        // Pop until a non-stale red vertex emerges.
+        let (recorded_next, victim) = evict_heap.pop().expect("red pebbles exist but heap empty");
+        if !red[victim as usize] {
+            continue; // already evicted
+        }
+        let actual_next = next_use(use_times, victim, now);
+        if actual_next != recorded_next {
+            evict_heap.push((actual_next, victim)); // stale entry, refresh
+            continue;
+        }
+        // Victim still needed later (or is an unsaved output): store first.
+        let needed_later = actual_next != usize::MAX;
+        if (needed_later || is_output[victim as usize]) && !blue[victim as usize] {
+            moves.push(Move::Store(victim));
+            blue[victim as usize] = true;
+        }
+        moves.push(Move::DiscardRed(victim));
+        red[victim as usize] = false;
+        *red_count -= 1;
+        let _ = g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{lu_cdag, mmm_cdag};
+
+    fn path_graph(n: usize) -> CDag {
+        let mut g = CDag::new();
+        let vs: Vec<VertexId> = (0..n).map(|i| g.add_vertex(format!("v{i}"))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn manual_schedule_on_path() {
+        let g = path_graph(3);
+        let moves = vec![
+            Move::Load(0),
+            Move::Compute(1),
+            Move::DiscardRed(0),
+            Move::Compute(2),
+            Move::Store(2),
+        ];
+        let stats = execute(&g, &moves, 2).unwrap();
+        assert!(stats.complete);
+        assert_eq!(stats.q(), 2);
+        assert_eq!(stats.computes, 2);
+    }
+
+    #[test]
+    fn load_without_blue_rejected() {
+        let g = path_graph(2);
+        let err = execute(&g, &[Move::Load(1)], 2).unwrap_err();
+        assert_eq!(err, GameError::LoadWithoutBlue(1));
+    }
+
+    #[test]
+    fn compute_without_pred_rejected() {
+        let g = path_graph(2);
+        let err = execute(&g, &[Move::Compute(1)], 2).unwrap_err();
+        assert_eq!(
+            err,
+            GameError::MissingPredecessor {
+                vertex: 1,
+                missing: 0
+            }
+        );
+    }
+
+    #[test]
+    fn red_budget_enforced() {
+        let g = path_graph(3);
+        let err = execute(&g, &[Move::Load(0), Move::Compute(1), Move::Compute(2)], 2).unwrap_err();
+        assert_eq!(err, GameError::RedBudgetExceeded { vertex: 2 });
+    }
+
+    #[test]
+    fn store_without_red_rejected() {
+        let g = path_graph(2);
+        let err = execute(&g, &[Move::Store(0)], 2).unwrap_err();
+        assert_eq!(err, GameError::StoreWithoutRed(0));
+    }
+
+    #[test]
+    fn incomplete_without_output_store() {
+        let g = path_graph(2);
+        let stats = execute(&g, &[Move::Load(0), Move::Compute(1)], 2).unwrap();
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn greedy_valid_on_mmm() {
+        for n in [2, 3, 4] {
+            for m in [8, 16, 64] {
+                let g = mmm_cdag(n);
+                let moves = greedy_schedule(&g, m);
+                let stats = execute(&g, &moves, m).unwrap();
+                assert!(stats.complete, "n={n} m={m}");
+                assert_eq!(stats.computes as usize, n * n * n, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_valid_on_lu() {
+        for n in [2, 3, 5] {
+            let (g, _) = lu_cdag(n);
+            let m = 16;
+            let moves = greedy_schedule(&g, m);
+            let stats = execute(&g, &moves, m).unwrap();
+            assert!(stats.complete, "n={n}");
+        }
+    }
+
+    #[test]
+    fn more_memory_never_hurts_much() {
+        // Belady with larger M should not do more I/O on these graphs.
+        let g = mmm_cdag(4);
+        let q_small = execute(&g, &greedy_schedule(&g, 8), 8).unwrap().q();
+        let q_big = execute(&g, &greedy_schedule(&g, 128), 128).unwrap().q();
+        assert!(q_big <= q_small, "q_big={q_big} q_small={q_small}");
+    }
+
+    #[test]
+    fn unlimited_memory_reaches_compulsory_traffic() {
+        // With M >= |V|, Q = inputs (loads) + outputs (stores).
+        let g = mmm_cdag(3);
+        let m = g.len();
+        let stats = execute(&g, &greedy_schedule(&g, m), m).unwrap();
+        assert_eq!(stats.loads as usize, g.inputs().len());
+        assert_eq!(stats.stores as usize, g.outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "max in-degree")]
+    fn too_few_pebbles_panics() {
+        let g = mmm_cdag(2);
+        let _ = greedy_schedule(&g, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! `pebbling` — red-blue pebble games and X-partitioning (Sections 2.3, 5
+//! of the paper).
+//!
+//! This crate makes the paper's theoretical machinery executable:
+//!
+//! * [`cdag`] — computational DAGs whose vertices are element *versions*,
+//! * [`builders`] — parametric cDAGs for LU (Fig. 1/4), MMM, and the
+//!   out-degree-one examples of Fig. 2,
+//! * [`game`] — the sequential red-blue pebble game: executor, rule
+//!   validator, and a Belady-eviction greedy scheduler,
+//! * [`parallel`] — the `P`-processor game with per-processor hues (Sec. 5),
+//! * [`dominator`] — exact minimum dominator sets via max-flow,
+//! * [`partition`] — X-partition validation, greedy construction, and the
+//!   Lemma 1 bound,
+//! * [`schedule`] — blocked compute orders whose I/O approaches the bounds.
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod cdag;
+pub mod dominator;
+pub mod dot;
+pub mod game;
+pub mod parallel;
+pub mod partition;
+pub mod schedule;
+
+pub use builders::{fig2a_cdag, fig2b_cdag, lu_cdag, mmm_cdag, LuVertexGroups};
+pub use cdag::{CDag, VertexId};
+pub use dominator::{min_dominator_size, minimum_set};
+pub use game::{execute, greedy_schedule, GameError, GameStats, Move};
+pub use parallel::{execute_parallel, owner_computes_schedule, PMove, ParallelGameStats};
+pub use partition::{greedy_partition, lemma1_bound, XPartition};
+
+pub mod optimal;
+pub use optimal::{optimal_io, OptimalResult};

@@ -1,0 +1,383 @@
+//! The parallel red-blue pebble game (Section 5).
+//!
+//! `P` processors each own `M` red pebbles of their own "hue". Rules change
+//! in two ways relative to the sequential game:
+//!
+//! 1. **compute** — requires all direct predecessors to hold red pebbles of
+//!    *this processor's* hue (no sharing of fast memory);
+//! 2. **load** — a red pebble of any hue may be placed on a vertex that
+//!    already holds *any* pebble (red of another hue or blue); every load
+//!    costs one I/O operation *for the loading processor*.
+//!
+//! From a single processor's view data is either local or remote, with
+//! uniform remote cost — exactly the machine model the paper's parallel
+//! lower bound (Lemma 9) is stated in.
+
+use crate::cdag::{CDag, VertexId};
+use crate::game::Move;
+
+/// A move annotated with the processor executing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PMove {
+    /// Executing processor.
+    pub proc: usize,
+    /// The underlying pebble-game move.
+    pub mv: Move,
+}
+
+/// Rule violation in the parallel game.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParallelGameError {
+    /// Load of a vertex that holds no pebble of any hue.
+    LoadFromNowhere {
+        /// Loading processor.
+        proc: usize,
+        /// Vertex in question.
+        vertex: VertexId,
+    },
+    /// Compute with a predecessor lacking this processor's red pebble.
+    MissingLocalPredecessor {
+        /// Computing processor.
+        proc: usize,
+        /// Vertex being computed.
+        vertex: VertexId,
+        /// The missing predecessor.
+        missing: VertexId,
+    },
+    /// A processor exceeded its `M` red pebbles.
+    RedBudgetExceeded {
+        /// Offending processor.
+        proc: usize,
+    },
+    /// Store without a local red pebble.
+    StoreWithoutRed {
+        /// Storing processor.
+        proc: usize,
+        /// Vertex in question.
+        vertex: VertexId,
+    },
+    /// Discard of an absent pebble.
+    DiscardMissing {
+        /// Processor attempting the discard.
+        proc: usize,
+        /// Vertex in question.
+        vertex: VertexId,
+    },
+}
+
+/// Per-processor and aggregate results of a parallel pebbling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelGameStats {
+    /// I/O operations (loads + stores) per processor.
+    pub q_per_proc: Vec<u64>,
+    /// Compute operations per processor.
+    pub computes_per_proc: Vec<u64>,
+    /// Whether all outputs hold blue pebbles at the end.
+    pub complete: bool,
+}
+
+impl ParallelGameStats {
+    /// Max per-processor I/O — the parallel cost measure of Lemma 9.
+    pub fn q_max(&self) -> u64 {
+        self.q_per_proc.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total I/O across processors.
+    pub fn q_total(&self) -> u64 {
+        self.q_per_proc.iter().sum()
+    }
+}
+
+/// Execute a parallel pebbling sequence with `p` processors of `m` red
+/// pebbles each, validating every rule.
+pub fn execute_parallel(
+    g: &CDag,
+    moves: &[PMove],
+    p: usize,
+    m: usize,
+) -> Result<ParallelGameStats, ParallelGameError> {
+    let n = g.len();
+    let mut red = vec![vec![false; n]; p]; // red[proc][vertex]
+    let mut red_count = vec![0usize; p];
+    let mut blue = vec![false; n];
+    for v in g.inputs() {
+        blue[v as usize] = true;
+    }
+    let mut stats = ParallelGameStats {
+        q_per_proc: vec![0; p],
+        computes_per_proc: vec![0; p],
+        complete: false,
+    };
+
+    for &PMove { proc, mv } in moves {
+        assert!(proc < p, "move references processor {proc} out of {p}");
+        match mv {
+            Move::Load(v) => {
+                let any_pebble = blue[v as usize] || (0..p).any(|q| red[q][v as usize]);
+                if !any_pebble {
+                    return Err(ParallelGameError::LoadFromNowhere { proc, vertex: v });
+                }
+                if !red[proc][v as usize] {
+                    red_count[proc] += 1;
+                    if red_count[proc] > m {
+                        return Err(ParallelGameError::RedBudgetExceeded { proc });
+                    }
+                    red[proc][v as usize] = true;
+                }
+                stats.q_per_proc[proc] += 1;
+            }
+            Move::Store(v) => {
+                if !red[proc][v as usize] {
+                    return Err(ParallelGameError::StoreWithoutRed { proc, vertex: v });
+                }
+                blue[v as usize] = true;
+                stats.q_per_proc[proc] += 1;
+            }
+            Move::Compute(v) => {
+                for &pr in g.preds(v) {
+                    if !red[proc][pr as usize] {
+                        return Err(ParallelGameError::MissingLocalPredecessor {
+                            proc,
+                            vertex: v,
+                            missing: pr,
+                        });
+                    }
+                }
+                if !red[proc][v as usize] {
+                    red_count[proc] += 1;
+                    if red_count[proc] > m {
+                        return Err(ParallelGameError::RedBudgetExceeded { proc });
+                    }
+                    red[proc][v as usize] = true;
+                }
+                stats.computes_per_proc[proc] += 1;
+            }
+            Move::DiscardRed(v) => {
+                if !red[proc][v as usize] {
+                    return Err(ParallelGameError::DiscardMissing { proc, vertex: v });
+                }
+                red[proc][v as usize] = false;
+                red_count[proc] -= 1;
+            }
+            Move::DiscardBlue(v) => {
+                if !blue[v as usize] {
+                    return Err(ParallelGameError::DiscardMissing { proc, vertex: v });
+                }
+                blue[v as usize] = false;
+            }
+        }
+    }
+    stats.complete = g.outputs().iter().all(|&v| blue[v as usize]);
+    Ok(stats)
+}
+
+/// Build a simple owner-computes parallel schedule: compute vertices are
+/// assigned to processors by `owner(v)`, each processor pebbles its vertices
+/// in global topological order, loading remote predecessors on demand
+/// (Belady-free: discards everything not needed by its own next vertex is
+/// omitted; uses generous `m`).
+///
+/// Intended for demonstrating the parallel game on small graphs; the
+/// schedule is valid as long as every processor's working set fits in `m`.
+pub fn owner_computes_schedule(
+    g: &CDag,
+    p: usize,
+    owner: impl Fn(VertexId) -> usize,
+) -> Vec<PMove> {
+    let mut moves = Vec::new();
+    let mut local: Vec<std::collections::HashSet<VertexId>> =
+        vec![std::collections::HashSet::new(); p];
+    let mut has_any: Vec<bool> = vec![false; g.len()];
+    for v in g.inputs() {
+        has_any[v as usize] = true; // blue pebble
+    }
+    for v in g.topological_order() {
+        if g.preds(v).is_empty() {
+            continue;
+        }
+        let proc = owner(v);
+        assert!(proc < p);
+        for &pr in g.preds(v) {
+            if !local[proc].contains(&pr) {
+                debug_assert!(has_any[pr as usize], "predecessor has no pebble anywhere");
+                moves.push(PMove {
+                    proc,
+                    mv: Move::Load(pr),
+                });
+                local[proc].insert(pr);
+            }
+        }
+        moves.push(PMove {
+            proc,
+            mv: Move::Compute(v),
+        });
+        local[proc].insert(v);
+        has_any[v as usize] = true;
+        if g.succs(v).is_empty() {
+            moves.push(PMove {
+                proc,
+                mv: Move::Store(v),
+            });
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{fig2b_cdag, mmm_cdag};
+
+    #[test]
+    fn two_procs_split_vector_op() {
+        // fig2b: c[i] = f(a[i], b[i]); procs split by parity
+        let n = 8;
+        let g = fig2b_cdag(n);
+        let moves = owner_computes_schedule(&g, 2, |v| (v as usize) % 2);
+        let stats = execute_parallel(&g, &moves, 2, 16).unwrap();
+        assert!(stats.complete);
+        // each compute loads its two private inputs: Q >= 2 * (n/2) per proc
+        for q in &stats.q_per_proc {
+            assert!(*q >= n as u64, "q={q}");
+        }
+    }
+
+    #[test]
+    fn parallel_mmm_owner_computes() {
+        let n = 3;
+        let g = mmm_cdag(n);
+        let p = 3;
+        // split C chains by (i*n+j) % p; a chain must stay on one proc
+        // because each C(i,j)#k feeds C(i,j)#k+1.
+        let moves = owner_computes_schedule(&g, p, |v| {
+            let label_owner = (v as usize) % p;
+            // inputs are never passed to owner(); compute vertices are the
+            // C chain: id layout = 2n^2 + (i*n+j)*n + k
+            let base = 2 * n * n;
+            if (v as usize) >= base {
+                ((v as usize - base) / n) % p
+            } else {
+                label_owner
+            }
+        });
+        let stats = execute_parallel(&g, &moves, p, 64).unwrap();
+        assert!(stats.complete);
+        assert_eq!(
+            stats.computes_per_proc.iter().sum::<u64>() as usize,
+            n * n * n
+        );
+    }
+
+    #[test]
+    fn compute_requires_local_hue() {
+        // proc 1 cannot compute with proc 0's pebbles
+        let mut g = CDag::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, b);
+        let moves = vec![
+            PMove {
+                proc: 0,
+                mv: Move::Load(a),
+            },
+            PMove {
+                proc: 1,
+                mv: Move::Compute(b),
+            },
+        ];
+        let err = execute_parallel(&g, &moves, 2, 4).unwrap_err();
+        assert_eq!(
+            err,
+            ParallelGameError::MissingLocalPredecessor {
+                proc: 1,
+                vertex: b,
+                missing: a
+            }
+        );
+    }
+
+    #[test]
+    fn remote_red_enables_load() {
+        // proc 0 computes b; proc 1 may then load b from proc 0's red
+        // pebble even though b has no blue pebble.
+        let mut g = CDag::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let moves = vec![
+            PMove {
+                proc: 0,
+                mv: Move::Load(a),
+            },
+            PMove {
+                proc: 0,
+                mv: Move::Compute(b),
+            },
+            PMove {
+                proc: 1,
+                mv: Move::Load(b),
+            },
+            PMove {
+                proc: 1,
+                mv: Move::Compute(c),
+            },
+            PMove {
+                proc: 1,
+                mv: Move::Store(c),
+            },
+        ];
+        let stats = execute_parallel(&g, &moves, 2, 4).unwrap();
+        assert!(stats.complete);
+        assert_eq!(stats.q_per_proc, vec![1, 2]);
+    }
+
+    #[test]
+    fn load_from_nowhere_rejected() {
+        let mut g = CDag::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, b);
+        let err = execute_parallel(
+            &g,
+            &[PMove {
+                proc: 0,
+                mv: Move::Load(b),
+            }],
+            1,
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ParallelGameError::LoadFromNowhere { proc: 0, vertex: b }
+        );
+    }
+
+    #[test]
+    fn per_proc_budget_is_private() {
+        // with m=2 each, two procs can together hold 4 red pebbles
+        let g = fig2b_cdag(2);
+        let moves = owner_computes_schedule(&g, 2, |v| (v as usize) % 2);
+        // each proc's working set is 3 (two inputs + result) -> m=3 works
+        let stats = execute_parallel(&g, &moves, 2, 3).unwrap();
+        assert!(stats.complete);
+        // but m=2 must fail for one of the computes
+        assert!(matches!(
+            execute_parallel(&g, &moves, 2, 2),
+            Err(ParallelGameError::RedBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn q_max_and_total() {
+        let stats = ParallelGameStats {
+            q_per_proc: vec![3, 7, 5],
+            computes_per_proc: vec![1, 1, 1],
+            complete: true,
+        };
+        assert_eq!(stats.q_max(), 7);
+        assert_eq!(stats.q_total(), 15);
+    }
+}

@@ -1,0 +1,287 @@
+//! Volume accounting for collective communication algorithms.
+//!
+//! Each function returns, for every participant of a group of size `p`
+//! exchanging messages of `n` elements, the `(sent, received)` element
+//! counts of the standard algorithm named. The orchestrated
+//! [`crate::network::Network`] charges these against [`crate::CommStats`];
+//! the threaded backend executes the same trees with real messages, so both
+//! backends count identically (tested in the `conflux` crate).
+//!
+//! Positions in the returned vectors are *group positions*, not global
+//! ranks; position 0 is the root where a root exists.
+
+// Position-indexed loops match the per-participant volume formulas.
+#![allow(clippy::needless_range_loop)]
+
+/// Per-participant `(sent, received)` element counts.
+pub type Volumes = Vec<(u64, u64)>;
+
+/// Binomial-tree broadcast of `n` elements from position 0 to all `p`
+/// participants. Total traffic `(p-1)·n`; the root sends `ceil(log2 p)`
+/// messages, leaves send nothing.
+pub fn binomial_broadcast(p: usize, n: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    // In round r (r = 0, 1, ...), every position q < 2^r that has a partner
+    // q + 2^r < p sends to it.
+    let mut span = 1;
+    while span < p {
+        for q in 0..span.min(p) {
+            let dst = q + span;
+            if dst < p {
+                v[q].0 += n;
+                v[dst].1 += n;
+            }
+        }
+        span *= 2;
+    }
+    v
+}
+
+/// Flat (root-sends-to-everyone) broadcast; same total volume as binomial
+/// but all sends charged to the root. Used by the collective-choice ablation.
+pub fn flat_broadcast(p: usize, n: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    for q in 1..p {
+        v[0].0 += n;
+        v[q].1 += n;
+    }
+    v
+}
+
+/// Binomial-tree reduction of `n` elements onto position 0. Mirror image of
+/// [`binomial_broadcast`]: every non-root sends its partial result once.
+pub fn binomial_reduce(p: usize, n: u64) -> Volumes {
+    binomial_broadcast(p, n)
+        .into_iter()
+        .map(|(s, r)| (r, s))
+        .collect()
+}
+
+/// Recursive-doubling allreduce: `ceil(log2 p)` rounds, every participant
+/// sends `n` per round. (For non-powers-of-two an extra fold round is
+/// charged to the excess participants, as in Rabenseifner's scheme.)
+pub fn recursive_doubling_allreduce(p: usize, n: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    if p <= 1 {
+        return v;
+    }
+    let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros()); // largest power of 2 <= p
+    let excess = p - pow2;
+    // fold excess into the first `excess` positions
+    for e in 0..excess {
+        v[pow2 + e].0 += n;
+        v[e].1 += n;
+    }
+    // recursive doubling among the first pow2 positions
+    let mut span = 1;
+    while span < pow2 {
+        for q in 0..pow2 {
+            let partner = q ^ span;
+            if partner < pow2 {
+                v[q].0 += n;
+                v[q].1 += n;
+            }
+        }
+        span *= 2;
+    }
+    // unfold results back to excess positions
+    for e in 0..excess {
+        v[e].0 += n;
+        v[pow2 + e].1 += n;
+    }
+    v
+}
+
+/// Scatter from position 0: each of the other `p-1` participants receives
+/// its own `n`-element chunk straight from the root.
+pub fn scatter(p: usize, n_per_rank: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    for q in 1..p {
+        v[0].0 += n_per_rank;
+        v[q].1 += n_per_rank;
+    }
+    v
+}
+
+/// Gather onto position 0 (mirror of [`scatter`]).
+pub fn gather(p: usize, n_per_rank: u64) -> Volumes {
+    scatter(p, n_per_rank)
+        .into_iter()
+        .map(|(s, r)| (r, s))
+        .collect()
+}
+
+/// Ring allgather: every participant contributes `n` elements and ends up
+/// with all `p·n`; each sends `(p-1)·n` around the ring.
+pub fn ring_allgather(p: usize, n: u64) -> Volumes {
+    let per = (p.saturating_sub(1)) as u64 * n;
+    vec![(per, per); p]
+}
+
+/// Butterfly (all-to-all pairwise exchange over `log2 p` rounds), the
+/// pattern the paper cites for tournament pivoting (Rabenseifner & Träff).
+/// Every participant sends `n` elements in each of `ceil(log2 p)` rounds.
+pub fn butterfly_exchange(p: usize, n: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    if p <= 1 {
+        return v;
+    }
+    let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize; // ceil(log2 p)
+    for round in 0..rounds {
+        let span = 1usize << round;
+        for q in 0..p {
+            let partner = q ^ span;
+            if partner < p {
+                v[q].0 += n;
+                v[q].1 += n;
+            }
+        }
+    }
+    v
+}
+
+/// Reduce-scatter (recursive halving): every participant starts with `p·n`
+/// elements and ends with its own reduced `n`-chunk. Each sends about
+/// `(p-1)/p · p·n ≈ (p-1)·n` halving by rounds: Σ p·n/2^r = (p-1)·n.
+pub fn reduce_scatter(p: usize, n_per_chunk: u64) -> Volumes {
+    let mut v = vec![(0u64, 0u64); p];
+    if p <= 1 {
+        return v;
+    }
+    // For simplicity charge the power-of-two halving volume to every rank;
+    // non-powers-of-two fold first, like the allreduce above.
+    let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let excess = p - pow2;
+    for e in 0..excess {
+        v[pow2 + e].0 += n_per_chunk * pow2 as u64;
+        v[e].1 += n_per_chunk * pow2 as u64;
+    }
+    let mut remaining = (pow2 as u64) * n_per_chunk / 2;
+    let mut span = 1;
+    while span < pow2 {
+        for q in 0..pow2 {
+            let partner = q ^ span;
+            if partner < pow2 {
+                v[q].0 += remaining;
+                v[q].1 += remaining;
+            }
+        }
+        span *= 2;
+        remaining /= 2;
+    }
+    v
+}
+
+/// Sum of sent volumes (== sum of received volumes for any of the above).
+pub fn total_volume(v: &Volumes) -> u64 {
+    v.iter().map(|(s, _)| s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends(v: &Volumes) -> u64 {
+        v.iter().map(|(s, _)| s).sum()
+    }
+    fn recvs(v: &Volumes) -> u64 {
+        v.iter().map(|(_, r)| r).sum()
+    }
+
+    #[test]
+    fn broadcast_totals() {
+        for p in [1, 2, 3, 4, 5, 8, 13, 64] {
+            let v = binomial_broadcast(p, 10);
+            assert_eq!(sends(&v), (p as u64 - 1) * 10, "p={p}");
+            assert_eq!(sends(&v), recvs(&v));
+            // every non-root receives exactly once
+            for (q, &(_, r)) in v.iter().enumerate().skip(1) {
+                assert_eq!(r, 10, "p={p} q={q}");
+            }
+            assert_eq!(v[0].1, 0);
+        }
+    }
+
+    #[test]
+    fn flat_equals_binomial_total() {
+        for p in [1, 2, 7, 32] {
+            assert_eq!(
+                total_volume(&flat_broadcast(p, 3)),
+                total_volume(&binomial_broadcast(p, 3))
+            );
+        }
+        // but the root is the bottleneck in the flat version
+        let flat = flat_broadcast(8, 3);
+        let bin = binomial_broadcast(8, 3);
+        assert!(flat[0].0 > bin[0].0);
+    }
+
+    #[test]
+    fn reduce_mirrors_broadcast() {
+        let b = binomial_broadcast(9, 4);
+        let r = binomial_reduce(9, 4);
+        for (bb, rr) in b.iter().zip(&r) {
+            assert_eq!(bb.0, rr.1);
+            assert_eq!(bb.1, rr.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_power_of_two() {
+        let v = recursive_doubling_allreduce(8, 5);
+        for &(s, r) in &v {
+            assert_eq!(s, 3 * 5); // log2(8) rounds
+            assert_eq!(r, 3 * 5);
+        }
+    }
+
+    #[test]
+    fn allreduce_non_power_of_two_charges_fold() {
+        let v = recursive_doubling_allreduce(6, 1);
+        // positions 4,5 fold into 0,1 then receive results back
+        assert_eq!(v[4], (1, 1));
+        assert_eq!(v[5], (1, 1));
+        assert_eq!(v[0], (2 + 1, 2 + 1)); // 2 doubling rounds + fold partner
+    }
+
+    #[test]
+    fn scatter_gather_mirror() {
+        let s = scatter(5, 7);
+        let g = gather(5, 7);
+        assert_eq!(sends(&s), 4 * 7);
+        assert_eq!(s[0].0, 28);
+        assert_eq!(g[0].1, 28);
+        assert_eq!(g[3].0, 7);
+    }
+
+    #[test]
+    fn allgather_ring_volume() {
+        let v = ring_allgather(4, 3);
+        for &(s, r) in &v {
+            assert_eq!(s, 9);
+            assert_eq!(r, 9);
+        }
+    }
+
+    #[test]
+    fn butterfly_rounds() {
+        let v = butterfly_exchange(8, 2);
+        for &(s, _) in &v {
+            assert_eq!(s, 3 * 2);
+        }
+        let v1 = butterfly_exchange(1, 2);
+        assert_eq!(total_volume(&v1), 0);
+        // non-power-of-two: some partners are out of range, so volumes vary
+        let v5 = butterfly_exchange(5, 1);
+        assert!(total_volume(&v5) > 0);
+    }
+
+    #[test]
+    fn reduce_scatter_halving_volume() {
+        // power of two: each rank sends (p-1)*n total
+        let v = reduce_scatter(8, 4);
+        for &(s, _) in &v {
+            assert_eq!(s, 7 * 4);
+        }
+    }
+}

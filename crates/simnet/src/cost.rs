@@ -1,0 +1,100 @@
+//! The α-β (latency–bandwidth) communication cost model.
+//!
+//! The paper's analysis counts *volume* (the β term) and discusses latency
+//! separately (Section 7.3: tournament pivoting cuts the `O(N)` pivoting
+//! latency to `O(N/v)`). This module turns a [`CommStats`] record into
+//! modeled time `T(rank) = α·messages + β·elements`, so both effects can be
+//! compared quantitatively.
+
+use crate::stats::{CommStats, Rank};
+
+/// Latency–bandwidth machine parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlphaBeta {
+    /// Seconds per message (injection + network latency).
+    pub alpha: f64,
+    /// Seconds per element (inverse bandwidth; 8-byte elements).
+    pub beta: f64,
+}
+
+impl AlphaBeta {
+    /// Parameters in the class of a Cray Aries network (the paper's
+    /// Piz Daint testbed): ~1.5 µs/message, ~10 GB/s effective per-rank
+    /// bandwidth → 0.8 ns per 8-byte element.
+    pub fn aries_like() -> Self {
+        Self {
+            alpha: 1.5e-6,
+            beta: 0.8e-9,
+        }
+    }
+
+    /// Modeled communication time of one rank.
+    pub fn rank_time(&self, stats: &CommStats, rank: Rank) -> f64 {
+        let msgs = stats.messages_by(rank) as f64;
+        let elems = stats.sent_by(rank) as f64 + stats.received_by(rank) as f64;
+        self.alpha * msgs + self.beta * elems
+    }
+
+    /// The busiest rank's modeled time (a critical-path proxy).
+    pub fn max_rank_time(&self, stats: &CommStats) -> f64 {
+        (0..stats.ranks())
+            .map(|r| self.rank_time(stats, r))
+            .fold(0.0, f64::max)
+    }
+
+    /// Split the busiest rank's time into `(latency_part, bandwidth_part)`.
+    pub fn max_rank_split(&self, stats: &CommStats) -> (f64, f64) {
+        let mut best = (0.0, 0.0);
+        for r in 0..stats.ranks() {
+            let a = self.alpha * stats.messages_by(r) as f64;
+            let b = self.beta * (stats.sent_by(r) + stats.received_by(r)) as f64;
+            if a + b > best.0 + best.1 {
+                best = (a, b);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_composition() {
+        let mut stats = CommStats::new(2);
+        stats.record(0, 1, 1000, "x"); // 1 message, 1000 elements
+        let model = AlphaBeta {
+            alpha: 1.0,
+            beta: 0.001,
+        };
+        // rank 0 sent 1 msg + 1000 elems; rank 1 received 1000 elems
+        assert!((model.rank_time(&stats, 0) - (1.0 + 1.0)).abs() < 1e-12);
+        assert!((model.rank_time(&stats, 1) - 1.0).abs() < 1e-12);
+        assert!((model.max_rank_time(&stats) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_small_messages_cost_latency() {
+        let mut chatty = CommStats::new(2);
+        for _ in 0..100 {
+            chatty.record(0, 1, 10, "x");
+        }
+        let mut bulky = CommStats::new(2);
+        bulky.record(0, 1, 1000, "x");
+        let model = AlphaBeta::aries_like();
+        // same volume, 100x the messages: chatty must cost more
+        assert_eq!(chatty.total_sent(), bulky.total_sent());
+        assert!(model.max_rank_time(&chatty) > model.max_rank_time(&bulky));
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let mut stats = CommStats::new(3);
+        stats.record(0, 1, 500, "x");
+        stats.record(0, 2, 300, "y");
+        let model = AlphaBeta::aries_like();
+        let (a, b) = model.max_rank_split(&stats);
+        assert!((a + b - model.max_rank_time(&stats)).abs() < 1e-15);
+    }
+}

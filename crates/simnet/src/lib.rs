@@ -1,0 +1,30 @@
+//! `simnet` — the distributed-machine simulator substrate of the COnfLUX
+//! reproduction.
+//!
+//! The paper runs on MPI over Cray Aries and measures *communication volume*
+//! with Score-P. This crate replaces that stack:
+//!
+//! * [`topology`] — 2D/3D processor grids and subcommunicator enumeration,
+//! * [`stats`] — per-rank, per-phase element/byte/message counters,
+//! * [`collectives`] — per-participant volume formulas of the standard
+//!   collective algorithms (binomial trees, recursive doubling, butterfly),
+//! * [`network`] — the orchestrated accountant used by the fast simulators,
+//! * [`threaded`] — a real-threads backend (crossbeam channels) where the
+//!   same algorithms run as genuine SPMD programs.
+//!
+//! Both backends count identically, which the `conflux` crate tests.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod cost;
+pub mod network;
+pub mod stats;
+pub mod threaded;
+pub mod topology;
+
+pub use cost::AlphaBeta;
+pub use network::{BcastAlgo, Network};
+pub use stats::{CommStats, Rank, ELEMENT_BYTES};
+pub use threaded::{run_spmd, RankCtx};
+pub use topology::{icbrt, isqrt, squarest_2d, Coord3D, Grid3D};

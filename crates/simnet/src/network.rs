@@ -1,0 +1,290 @@
+//! Orchestrated network: the volume accountant of the simulator.
+//!
+//! In the orchestrated execution style, the algorithm driver owns all rank
+//! states and performs data movement itself; *every* inter-rank transfer must
+//! be declared to this [`Network`], which charges the per-rank volumes of the
+//! chosen collective algorithm to [`CommStats`]. This mirrors how the paper
+//! instruments real MPI implementations with Score-P: the algorithm's
+//! communication pattern is what is measured, independent of wall-clock.
+
+use crate::collectives::{self, Volumes};
+use crate::stats::{CommStats, Rank};
+
+/// Which broadcast algorithm to charge (ablation knob; the paper's
+/// implementations use tree-based collectives).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BcastAlgo {
+    /// Binomial tree (MPI default for mid-size messages).
+    #[default]
+    Binomial,
+    /// Root sends to every participant directly.
+    Flat,
+}
+
+/// One recorded communication event (when tracing is enabled).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A point-to-point message.
+    P2p {
+        /// Phase tag.
+        phase: &'static str,
+        /// Sender.
+        src: Rank,
+        /// Receiver.
+        dst: Rank,
+        /// Elements moved.
+        elems: u64,
+    },
+    /// A collective operation over a group.
+    Collective {
+        /// Phase tag.
+        phase: &'static str,
+        /// Operation name (`"broadcast"`, `"reduce"`, ...).
+        op: &'static str,
+        /// Participating ranks (root first where applicable).
+        group: Vec<Rank>,
+        /// Per-message element count of the operation.
+        elems: u64,
+    },
+}
+
+/// Counted network connecting `p` simulated ranks.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Volume record of everything sent through this network.
+    pub stats: CommStats,
+    /// Broadcast algorithm used by [`Network::broadcast`].
+    pub bcast_algo: BcastAlgo,
+    /// Event trace (`None` = disabled; enable with [`Network::with_trace`]).
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl Network {
+    /// A network connecting `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Self {
+            stats: CommStats::new(p),
+            bcast_algo: BcastAlgo::Binomial,
+            trace: None,
+        }
+    }
+
+    /// A network that records every event (for step traces like Fig. 5).
+    pub fn with_trace(p: usize) -> Self {
+        let mut net = Self::new(p);
+        net.trace = Some(Vec::new());
+        net
+    }
+
+    fn record_collective(
+        &mut self,
+        phase: &'static str,
+        op: &'static str,
+        group: &[Rank],
+        elems: u64,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            if group.len() > 1 && elems > 0 {
+                t.push(TraceEvent::Collective {
+                    phase,
+                    op,
+                    group: group.to_vec(),
+                    elems,
+                });
+            }
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.stats.ranks()
+    }
+
+    /// Point-to-point message of `elems` elements.
+    pub fn send(&mut self, src: Rank, dst: Rank, elems: u64, phase: &'static str) {
+        self.stats.record(src, dst, elems, phase);
+        if let Some(t) = self.trace.as_mut() {
+            if src != dst && elems > 0 {
+                t.push(TraceEvent::P2p {
+                    phase,
+                    src,
+                    dst,
+                    elems,
+                });
+            }
+        }
+    }
+
+    /// Broadcast `elems` elements from `group[0]` to the whole group.
+    pub fn broadcast(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
+        self.record_collective(phase, "broadcast", group, elems);
+        let v = match self.bcast_algo {
+            BcastAlgo::Binomial => collectives::binomial_broadcast(group.len(), elems),
+            BcastAlgo::Flat => collectives::flat_broadcast(group.len(), elems),
+        };
+        self.charge_group(group, &v, elems, phase);
+    }
+
+    /// Broadcast from an arbitrary member: `root` is rotated to the front of
+    /// the tree.
+    pub fn broadcast_from(&mut self, root: Rank, group: &[Rank], elems: u64, phase: &'static str) {
+        let rotated = rotate_to_front(group, root);
+        self.broadcast(&rotated, elems, phase);
+    }
+
+    /// Reduce `elems` elements from every group member onto `group[0]`.
+    pub fn reduce(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
+        self.record_collective(phase, "reduce", group, elems);
+        let v = collectives::binomial_reduce(group.len(), elems);
+        self.charge_group(group, &v, elems, phase);
+    }
+
+    /// Reduce onto an arbitrary member.
+    pub fn reduce_onto(&mut self, root: Rank, group: &[Rank], elems: u64, phase: &'static str) {
+        let rotated = rotate_to_front(group, root);
+        self.reduce(&rotated, elems, phase);
+    }
+
+    /// Allreduce `elems` elements across the group (recursive doubling).
+    pub fn allreduce(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
+        self.record_collective(phase, "allreduce", group, elems);
+        let v = collectives::recursive_doubling_allreduce(group.len(), elems);
+        self.charge_group(group, &v, elems, phase);
+    }
+
+    /// Scatter distinct `elems_per_rank`-element chunks from `group[0]`.
+    pub fn scatter(&mut self, group: &[Rank], elems_per_rank: u64, phase: &'static str) {
+        self.record_collective(phase, "scatter", group, elems_per_rank);
+        let v = collectives::scatter(group.len(), elems_per_rank);
+        self.charge_group(group, &v, elems_per_rank, phase);
+    }
+
+    /// Gather `elems_per_rank`-element chunks onto `group[0]`.
+    pub fn gather(&mut self, group: &[Rank], elems_per_rank: u64, phase: &'static str) {
+        self.record_collective(phase, "gather", group, elems_per_rank);
+        let v = collectives::gather(group.len(), elems_per_rank);
+        self.charge_group(group, &v, elems_per_rank, phase);
+    }
+
+    /// Ring allgather of `elems`-element contributions.
+    pub fn allgather(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
+        self.record_collective(phase, "allgather", group, elems);
+        let v = collectives::ring_allgather(group.len(), elems);
+        self.charge_group(group, &v, elems, phase);
+    }
+
+    /// Butterfly exchange of `elems` elements per round over `log2 |group|`
+    /// rounds (the tournament-pivoting pattern).
+    pub fn butterfly(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
+        self.record_collective(phase, "butterfly", group, elems);
+        let v = collectives::butterfly_exchange(group.len(), elems);
+        self.charge_group(group, &v, elems, phase);
+    }
+
+    /// Reduce-scatter with `elems_per_chunk`-element result chunks.
+    pub fn reduce_scatter(&mut self, group: &[Rank], elems_per_chunk: u64, phase: &'static str) {
+        self.record_collective(phase, "reduce-scatter", group, elems_per_chunk);
+        let v = collectives::reduce_scatter(group.len(), elems_per_chunk);
+        self.charge_group(group, &v, elems_per_chunk, phase);
+    }
+
+    fn charge_group(&mut self, group: &[Rank], v: &Volumes, msg_elems: u64, phase: &'static str) {
+        debug_assert_eq!(group.len(), v.len());
+        for (&rank, &(sent, recv)) in group.iter().zip(v) {
+            let msgs = if msg_elems > 0 {
+                sent.div_ceil(msg_elems)
+            } else {
+                0
+            };
+            self.stats.charge(rank, sent, recv, msgs, phase);
+        }
+    }
+}
+
+fn rotate_to_front(group: &[Rank], root: Rank) -> Vec<Rank> {
+    let pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root must be a member of the group");
+    let mut rotated = Vec::with_capacity(group.len());
+    rotated.extend_from_slice(&group[pos..]);
+    rotated.extend_from_slice(&group[..pos]);
+    rotated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_counts_group_minus_one() {
+        let mut net = Network::new(8);
+        net.broadcast(&[0, 1, 2, 3], 10, "b");
+        assert_eq!(net.stats.total_sent(), 30);
+        // root never receives
+        assert_eq!(net.stats.received_by(0), 0);
+        assert_eq!(net.stats.received_by(3), 10);
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let mut net = Network::new(4);
+        net.broadcast_from(2, &[0, 1, 2, 3], 5, "b");
+        assert_eq!(net.stats.total_sent(), 15);
+        assert_eq!(net.stats.received_by(2), 0);
+        assert!(net.stats.sent_by(2) >= 5);
+    }
+
+    #[test]
+    fn flat_vs_binomial_same_total_different_root_load() {
+        let mut bin = Network::new(8);
+        bin.broadcast(&(0..8).collect::<Vec<_>>(), 4, "b");
+        let mut flat = Network::new(8);
+        flat.bcast_algo = BcastAlgo::Flat;
+        flat.broadcast(&(0..8).collect::<Vec<_>>(), 4, "b");
+        assert_eq!(bin.stats.total_sent(), flat.stats.total_sent());
+        assert!(flat.stats.sent_by(0) > bin.stats.sent_by(0));
+    }
+
+    #[test]
+    fn reduce_onto_counts() {
+        let mut net = Network::new(4);
+        net.reduce_onto(3, &[0, 1, 2, 3], 6, "r");
+        assert_eq!(net.stats.total_sent(), 18);
+        assert_eq!(net.stats.sent_by(3), 0);
+    }
+
+    #[test]
+    fn scatter_root_sends_everything() {
+        let mut net = Network::new(4);
+        net.scatter(&[0, 1, 2, 3], 9, "s");
+        assert_eq!(net.stats.sent_by(0), 27);
+        assert_eq!(net.stats.received_by(2), 9);
+    }
+
+    #[test]
+    fn butterfly_per_rank_log_rounds() {
+        let mut net = Network::new(8);
+        net.butterfly(&(0..8).collect::<Vec<_>>(), 16, "t");
+        for r in 0..8 {
+            assert_eq!(net.stats.sent_by(r), 3 * 16);
+        }
+    }
+
+    #[test]
+    fn singleton_groups_are_free() {
+        let mut net = Network::new(2);
+        net.broadcast(&[1], 100, "x");
+        net.reduce(&[0], 100, "x");
+        net.allgather(&[1], 100, "x");
+        net.butterfly(&[0], 100, "x");
+        assert_eq!(net.stats.total_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a member")]
+    fn broadcast_from_nonmember_panics() {
+        let mut net = Network::new(4);
+        net.broadcast_from(9, &[0, 1], 1, "x");
+    }
+}

@@ -1,0 +1,288 @@
+//! Communication-volume accounting.
+//!
+//! The paper measures I/O cost as the number of elements (or bytes) each
+//! processor sends over the network, instrumented with Score-P. This module
+//! is our Score-P substitute: every send in the simulator is recorded here,
+//! tagged by algorithm *phase* (e.g. `"tournament"`, `"scatter-a10"`) so the
+//! per-step cost breakdown of Algorithm 1 can be checked term by term.
+
+use std::collections::BTreeMap;
+
+/// Identifies a simulated processor.
+pub type Rank = usize;
+
+/// Bytes per matrix element; the paper reports volumes for `f64` data.
+pub const ELEMENT_BYTES: usize = 8;
+
+/// Counters for one (rank, phase) pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Elements sent by this rank.
+    pub elements_sent: u64,
+    /// Elements received by this rank.
+    pub elements_received: u64,
+    /// Number of point-to-point messages sent.
+    pub messages: u64,
+}
+
+impl Counter {
+    fn add_send(&mut self, elems: u64) {
+        self.elements_sent += elems;
+        self.messages += 1;
+    }
+
+    fn add_recv(&mut self, elems: u64) {
+        self.elements_received += elems;
+    }
+
+    fn merge(&mut self, other: &Counter) {
+        self.elements_sent += other.elements_sent;
+        self.elements_received += other.elements_received;
+        self.messages += other.messages;
+    }
+}
+
+/// Full communication record of a simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// `per_rank[r]` maps phase name -> counters for rank `r`.
+    per_rank: Vec<BTreeMap<&'static str, Counter>>,
+}
+
+impl CommStats {
+    /// Stats object for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Self {
+            per_rank: vec![BTreeMap::new(); p],
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Record a point-to-point message of `elems` elements.
+    /// Messages a rank "sends to itself" are local copies and cost nothing.
+    pub fn record(&mut self, src: Rank, dst: Rank, elems: u64, phase: &'static str) {
+        if src == dst || elems == 0 {
+            return;
+        }
+        self.per_rank[src].entry(phase).or_default().add_send(elems);
+        self.per_rank[dst].entry(phase).or_default().add_recv(elems);
+    }
+
+    /// Charge raw volumes to a single rank (used when collective algorithms
+    /// are accounted from per-participant totals rather than individual
+    /// messages, and by the threaded backend where each side records only
+    /// its own half of a transfer).
+    pub fn charge(
+        &mut self,
+        rank: Rank,
+        sent: u64,
+        received: u64,
+        messages: u64,
+        phase: &'static str,
+    ) {
+        if sent == 0 && received == 0 && messages == 0 {
+            return;
+        }
+        let c = self.per_rank[rank].entry(phase).or_default();
+        c.elements_sent += sent;
+        c.elements_received += received;
+        c.messages += messages;
+    }
+
+    /// Merge another stats object (e.g. collected from a worker thread).
+    pub fn merge(&mut self, other: &CommStats) {
+        assert_eq!(self.per_rank.len(), other.per_rank.len());
+        for (mine, theirs) in self.per_rank.iter_mut().zip(&other.per_rank) {
+            for (phase, c) in theirs {
+                mine.entry(phase).or_default().merge(c);
+            }
+        }
+    }
+
+    /// Total elements sent across all ranks and phases.
+    pub fn total_sent(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|c| c.elements_sent)
+            .sum()
+    }
+
+    /// Total bytes sent across all ranks (elements * 8).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_sent() * ELEMENT_BYTES as u64
+    }
+
+    /// Total messages across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|c| c.messages)
+            .sum()
+    }
+
+    /// Elements sent by one rank (all phases).
+    pub fn sent_by(&self, r: Rank) -> u64 {
+        self.per_rank[r].values().map(|c| c.elements_sent).sum()
+    }
+
+    /// Elements received by one rank (all phases).
+    pub fn received_by(&self, r: Rank) -> u64 {
+        self.per_rank[r].values().map(|c| c.elements_received).sum()
+    }
+
+    /// The largest per-rank sent volume — the "communication volume per
+    /// node" series plotted in Fig. 6 uses the per-node volume, which for a
+    /// balanced algorithm equals this max.
+    pub fn max_sent_per_rank(&self) -> u64 {
+        (0..self.per_rank.len())
+            .map(|r| self.sent_by(r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Send-volume imbalance `max/mean` across ranks (1.0 = perfectly
+    /// balanced). The paper credits the Processor Grid Optimization with
+    /// "smooth and predictable performance" — i.e., low imbalance.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_sent_per_rank();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.max_sent_per_rank() as f64 / mean
+    }
+
+    /// Mean elements sent per rank.
+    pub fn mean_sent_per_rank(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.total_sent() as f64 / self.per_rank.len() as f64
+    }
+
+    /// Total elements sent in one phase, across ranks.
+    pub fn sent_in_phase(&self, phase: &str) -> u64 {
+        self.per_rank
+            .iter()
+            .flat_map(|m| m.iter())
+            .filter(|(p, _)| **p == phase)
+            .map(|(_, c)| c.elements_sent)
+            .sum()
+    }
+
+    /// Messages sent by one rank (all phases).
+    pub fn messages_by(&self, r: Rank) -> u64 {
+        self.per_rank[r].values().map(|c| c.messages).sum()
+    }
+
+    /// Total messages sent in one phase, across ranks (a latency proxy:
+    /// divide by the per-step parallelism for critical-path estimates).
+    pub fn messages_in_phase(&self, phase: &str) -> u64 {
+        self.per_rank
+            .iter()
+            .flat_map(|m| m.iter())
+            .filter(|(p, _)| **p == phase)
+            .map(|(_, c)| c.messages)
+            .sum()
+    }
+
+    /// All phase names seen, sorted.
+    pub fn phases(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .per_rank
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Render a per-phase volume breakdown as aligned text (for harness
+    /// binaries and EXPERIMENTS.md).
+    pub fn phase_table(&self) -> String {
+        let mut out = String::from("phase                        elements_sent\n");
+        for phase in self.phases() {
+            out.push_str(&format!(
+                "{:<28} {:>13}\n",
+                phase,
+                self.sent_in_phase(phase)
+            ));
+        }
+        out.push_str(&format!("{:<28} {:>13}\n", "TOTAL", self.total_sent()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_sends_are_free() {
+        let mut s = CommStats::new(2);
+        s.record(0, 0, 100, "x");
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn point_to_point_accounting() {
+        let mut s = CommStats::new(3);
+        s.record(0, 1, 10, "a");
+        s.record(1, 2, 5, "a");
+        s.record(0, 2, 7, "b");
+        assert_eq!(s.total_sent(), 22);
+        assert_eq!(s.sent_by(0), 17);
+        assert_eq!(s.sent_by(1), 5);
+        assert_eq!(s.received_by(2), 12);
+        assert_eq!(s.sent_in_phase("a"), 15);
+        assert_eq!(s.sent_in_phase("b"), 7);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 22 * 8);
+    }
+
+    #[test]
+    fn max_and_mean_per_rank() {
+        let mut s = CommStats::new(4);
+        s.record(0, 1, 8, "p");
+        s.record(2, 3, 4, "p");
+        assert_eq!(s.max_sent_per_rank(), 8);
+        assert_eq!(s.mean_sent_per_rank(), 3.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::new(2);
+        a.record(0, 1, 3, "p");
+        let mut b = CommStats::new(2);
+        b.record(0, 1, 4, "p");
+        b.record(1, 0, 1, "q");
+        a.merge(&b);
+        assert_eq!(a.sent_by(0), 7);
+        assert_eq!(a.sent_by(1), 1);
+        assert_eq!(a.phases(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn zero_size_messages_not_counted() {
+        let mut s = CommStats::new(2);
+        s.record(0, 1, 0, "x");
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn phase_table_contains_total() {
+        let mut s = CommStats::new(2);
+        s.record(0, 1, 42, "alpha");
+        let t = s.phase_table();
+        assert!(t.contains("alpha"));
+        assert!(t.contains("42"));
+        assert!(t.contains("TOTAL"));
+    }
+}

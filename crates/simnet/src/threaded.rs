@@ -1,0 +1,626 @@
+//! Threaded SPMD backend: every simulated rank is a real OS thread and every
+//! transfer is a real message over a crossbeam channel.
+//!
+//! The orchestrated [`crate::network::Network`] only *counts*; this backend
+//! *executes*, so tests can check that (a) the distributed algorithms are
+//! correct under genuine concurrency and (b) both backends count the same
+//! volumes. It is intended for small `P` (each rank is a thread).
+//!
+//! Payloads are `Vec<f64>`; index data is encoded as `f64` (exact for values
+//! below 2^53), the same trick MPI codes use to fuse pivot metadata into
+//! numeric buffers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::stats::{CommStats, Rank};
+
+/// A tagged message between ranks.
+#[derive(Debug)]
+struct Msg {
+    src: Rank,
+    tag: u64,
+    data: Vec<f64>,
+    phase: &'static str,
+}
+
+/// Per-rank handle inside an SPMD region: point-to-point operations plus the
+/// collectives the LU algorithms need, all volume-counted.
+pub struct RankCtx {
+    /// This rank's id.
+    pub rank: Rank,
+    /// Total number of ranks.
+    pub p: usize,
+    senders: Arc<Vec<Sender<Msg>>>,
+    receiver: Receiver<Msg>,
+    pending: VecDeque<Msg>,
+    stats: CommStats,
+}
+
+impl RankCtx {
+    /// Send `data` to `dst` with matching `tag`.
+    pub fn send(&mut self, dst: Rank, tag: u64, data: Vec<f64>, phase: &'static str) {
+        assert!(dst < self.p, "send to out-of-range rank {dst}");
+        if dst == self.rank {
+            // local move: free, but still has to be receivable
+            self.pending.push_back(Msg {
+                src: self.rank,
+                tag,
+                data,
+                phase,
+            });
+            return;
+        }
+        self.stats.charge(self.rank, data.len() as u64, 0, 1, phase);
+        self.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                data,
+                phase,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of the message from `src` with `tag`.
+    pub fn recv(&mut self, src: Rank, tag: u64) -> Vec<f64> {
+        // check stashed messages first
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            let msg = self.pending.remove(pos).unwrap();
+            if msg.src != self.rank {
+                self.stats
+                    .charge(self.rank, 0, msg.data.len() as u64, 0, msg.phase);
+            }
+            return msg.data;
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("all senders hung up while receiving");
+            if msg.src == src && msg.tag == tag {
+                if msg.src != self.rank {
+                    self.stats
+                        .charge(self.rank, 0, msg.data.len() as u64, 0, msg.phase);
+                }
+                return msg.data;
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    /// Binomial-tree broadcast within `group` from `root`. Members must call
+    /// with the same arguments; the root passes `Some(data)`, others `None`.
+    /// Returns the broadcast data on every member.
+    pub fn broadcast(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        data: Option<Vec<f64>>,
+        tag: u64,
+        phase: &'static str,
+    ) -> Vec<f64> {
+        let p = group.len();
+        let me = self.group_pos(group);
+        let root_pos = group
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
+        // virtual position with root rotated to 0
+        let vpos = (me + p - root_pos) % p;
+        let mut have: Option<Vec<f64>> = if vpos == 0 {
+            Some(data.expect("root must supply broadcast data"))
+        } else {
+            None
+        };
+        // rounds with span 1, 2, 4, ... — receiver in round r has
+        // span <= vpos < 2*span; it receives from vpos - span.
+        let mut span = 1usize;
+        let mut recv_span = None;
+        while span < p {
+            if vpos >= span && vpos < span * 2 {
+                recv_span = Some(span);
+            }
+            span *= 2;
+        }
+        if let Some(s) = recv_span {
+            let src_vpos = vpos - s;
+            let src = group[(src_vpos + root_pos) % p];
+            have = Some(self.recv(src, tag ^ hash_round(s as u64)));
+        }
+        // after (possibly) receiving at round s, forward in later rounds
+        let data = have.expect("broadcast logic error: no data");
+        let mut span = recv_span.map_or(1, |s| s * 2);
+        while span < p {
+            if vpos < span {
+                let dst_vpos = vpos + span;
+                if dst_vpos < p {
+                    let dst = group[(dst_vpos + root_pos) % p];
+                    self.send(dst, tag ^ hash_round(span as u64), data.clone(), phase);
+                }
+            }
+            span *= 2;
+        }
+        data
+    }
+
+    /// Binomial-tree elementwise-sum reduction onto `root`. Returns
+    /// `Some(total)` on the root, `None` elsewhere.
+    pub fn reduce_sum(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        contribution: Vec<f64>,
+        tag: u64,
+        phase: &'static str,
+    ) -> Option<Vec<f64>> {
+        let p = group.len();
+        let me = self.group_pos(group);
+        let root_pos = group
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
+        let vpos = (me + p - root_pos) % p;
+        let mut acc = contribution;
+        // mirror of the broadcast tree: in round with span s (descending),
+        // positions in [s, 2s) send to position - s.
+        let mut spans = Vec::new();
+        let mut s = 1usize;
+        while s < p {
+            spans.push(s);
+            s *= 2;
+        }
+        for &s in spans.iter().rev() {
+            if vpos < s {
+                let src_vpos = vpos + s;
+                if src_vpos < p {
+                    let src = group[(src_vpos + root_pos) % p];
+                    let other = self.recv(src, tag ^ hash_round(s as u64));
+                    assert_eq!(
+                        other.len(),
+                        acc.len(),
+                        "reduce contributions must be equal length"
+                    );
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a += b;
+                    }
+                }
+            } else if vpos >= s && vpos < s * 2 {
+                let dst_vpos = vpos - s;
+                let dst = group[(dst_vpos + root_pos) % p];
+                self.send(
+                    dst,
+                    tag ^ hash_round(s as u64),
+                    std::mem::take(&mut acc),
+                    phase,
+                );
+                // once sent, this rank is done
+                return None;
+            }
+        }
+        if vpos == 0 {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Allreduce = reduce onto `group[0]` + broadcast back.
+    pub fn allreduce_sum(
+        &mut self,
+        group: &[Rank],
+        contribution: Vec<f64>,
+        tag: u64,
+        phase: &'static str,
+    ) -> Vec<f64> {
+        let root = group[0];
+        let reduced = self.reduce_sum(group, root, contribution, tag, phase);
+        self.broadcast(group, root, reduced, tag.wrapping_add(0x9e37), phase)
+    }
+
+    /// Allreduce with an arbitrary associative combiner: binomial-tree
+    /// reduce onto `group[0]` (lower group position always the left
+    /// argument, so non-commutative combiners stay deterministic), then
+    /// broadcast the result back. Correct for **any** group size — use
+    /// this, not [`RankCtx::butterfly`], when the group may not be a power
+    /// of two.
+    pub fn allreduce_with<F>(
+        &mut self,
+        group: &[Rank],
+        value: Vec<f64>,
+        tag: u64,
+        phase: &'static str,
+        mut combine: F,
+    ) -> Vec<f64>
+    where
+        F: FnMut(Vec<f64>, Vec<f64>) -> Vec<f64>,
+    {
+        let p = group.len();
+        let me = self.group_pos(group);
+        if p <= 1 {
+            return value;
+        }
+        // binomial reduce onto position 0 (same tree as reduce_sum)
+        let mut acc = Some(value);
+        let mut spans = Vec::new();
+        let mut s = 1usize;
+        while s < p {
+            spans.push(s);
+            s *= 2;
+        }
+        for &s in spans.iter().rev() {
+            if me < s {
+                let src_pos = me + s;
+                if src_pos < p {
+                    let other = self.recv(group[src_pos], tag ^ hash_round(s as u64));
+                    // lower position (mine) goes first
+                    acc = Some(combine(acc.take().unwrap(), other));
+                }
+            } else if me >= s && me < s * 2 {
+                let dst = group[me - s];
+                self.send(dst, tag ^ hash_round(s as u64), acc.take().unwrap(), phase);
+                break; // this rank's reduction role is done
+            }
+        }
+        // broadcast the result back from position 0
+        self.broadcast(group, group[0], acc, tag.wrapping_add(0x5bd1), phase)
+    }
+
+    /// Butterfly exchange-and-combine over `ceil(log2 |group|)` rounds: in
+    /// each round, partners exchange their current value and both apply
+    /// `combine(mine, theirs)`. This is the paper's tournament-pivoting
+    /// communication pattern; `combine` implements the playoff.
+    ///
+    /// **Convergence caveat**: all members end with the same combined value
+    /// only when `|group|` is a power of two (ranks whose partner falls
+    /// outside the group skip that round). For arbitrary group sizes use
+    /// [`RankCtx::allreduce_with`].
+    pub fn butterfly<F>(
+        &mut self,
+        group: &[Rank],
+        mut value: Vec<f64>,
+        tag: u64,
+        phase: &'static str,
+        mut combine: F,
+    ) -> Vec<f64>
+    where
+        F: FnMut(Vec<f64>, Vec<f64>) -> Vec<f64>,
+    {
+        let p = group.len();
+        let me = self.group_pos(group);
+        if p <= 1 {
+            return value;
+        }
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize;
+        for round in 0..rounds {
+            let span = 1usize << round;
+            let partner = me ^ span;
+            if partner < p {
+                let dst = group[partner];
+                self.send(dst, tag ^ hash_round(round as u64), value.clone(), phase);
+                let theirs = self.recv(dst, tag ^ hash_round(round as u64));
+                // Canonical argument order (lower group position first) so
+                // both partners compute the identical combined value even
+                // when `combine` is not commutative.
+                value = if me < partner {
+                    combine(value, theirs)
+                } else {
+                    combine(theirs, value)
+                };
+            }
+        }
+        value
+    }
+
+    /// Gather variable-size chunks onto `root`; returns `Some(chunks by
+    /// group position)` on the root.
+    pub fn gather(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        contribution: Vec<f64>,
+        tag: u64,
+        phase: &'static str,
+    ) -> Option<Vec<Vec<f64>>> {
+        let me = self.group_pos(group);
+        let root_pos = group
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
+        if me == root_pos {
+            let mut out = vec![Vec::new(); group.len()];
+            for (pos, &src) in group.iter().enumerate() {
+                if pos == root_pos {
+                    out[pos] = contribution.clone();
+                } else {
+                    out[pos] = self.recv(src, tag ^ hash_round(pos as u64));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag ^ hash_round(me as u64), contribution, phase);
+            None
+        }
+    }
+
+    /// Scatter chunks from `root` (which passes `Some(chunks)` ordered by
+    /// group position); returns this rank's chunk.
+    pub fn scatter(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        chunks: Option<Vec<Vec<f64>>>,
+        tag: u64,
+        phase: &'static str,
+    ) -> Vec<f64> {
+        let me = self.group_pos(group);
+        let root_pos = group
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
+        if me == root_pos {
+            let chunks = chunks.expect("root must supply scatter chunks");
+            assert_eq!(chunks.len(), group.len());
+            let mut mine = Vec::new();
+            for (pos, (chunk, &dst)) in chunks.into_iter().zip(group).enumerate() {
+                if pos == root_pos {
+                    mine = chunk;
+                } else {
+                    self.send(dst, tag ^ hash_round(pos as u64), chunk, phase);
+                }
+            }
+            mine
+        } else {
+            self.recv(root, tag ^ hash_round(me as u64))
+        }
+    }
+
+    fn group_pos(&self, group: &[Rank]) -> usize {
+        group
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank must be a member of the group it communicates in")
+    }
+}
+
+fn hash_round(r: u64) -> u64 {
+    // spread round numbers across tag space so tag ^ hash_round(r) collides
+    // with neither raw tags nor other rounds
+    r.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17) | 0x8000_0000_0000_0000
+}
+
+/// Run `f` as an SPMD region over `p` rank threads; returns each rank's
+/// result (by rank) and the merged communication statistics.
+///
+/// ```
+/// use simnet::run_spmd;
+/// // allreduce-sum over 4 real rank threads
+/// let group = vec![0, 1, 2, 3];
+/// let (vals, stats) = run_spmd(4, |ctx| {
+///     ctx.allreduce_sum(&group, vec![ctx.rank as f64], 1, "demo")[0]
+/// });
+/// assert!(vals.iter().all(|&v| v == 6.0));
+/// assert!(stats.total_sent() > 0);
+/// ```
+pub fn run_spmd<T, F>(p: usize, f: F) -> (Vec<T>, CommStats)
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    assert!(p > 0);
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let senders = Arc::new(senders);
+    let results: Mutex<Vec<Option<(T, CommStats)>>> = Mutex::new((0..p).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let f = &f;
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut ctx = RankCtx {
+                    rank,
+                    p,
+                    senders,
+                    receiver,
+                    pending: VecDeque::new(),
+                    stats: CommStats::new(p),
+                };
+                let out = f(&mut ctx);
+                results.lock()[rank] = Some((out, ctx.stats));
+            });
+        }
+    })
+    .expect("SPMD rank thread panicked");
+
+    let mut merged = CommStats::new(p);
+    let mut outs = Vec::with_capacity(p);
+    for slot in results.into_inner() {
+        let (out, stats) = slot.expect("rank did not produce a result");
+        merged.merge(&stats);
+        outs.push(out);
+    }
+    (outs, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_ring() {
+        let (vals, stats) = run_spmd(4, |ctx| {
+            let next = (ctx.rank + 1) % ctx.p;
+            let prev = (ctx.rank + ctx.p - 1) % ctx.p;
+            ctx.send(next, 7, vec![ctx.rank as f64], "ring");
+            let got = ctx.recv(prev, 7);
+            got[0]
+        });
+        assert_eq!(vals, vec![3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(stats.total_sent(), 4);
+        assert_eq!(stats.total_messages(), 4);
+    }
+
+    #[test]
+    fn broadcast_delivers_everywhere() {
+        for p in [1, 2, 3, 5, 8] {
+            let group: Vec<usize> = (0..p).collect();
+            let (vals, stats) = run_spmd(p, |ctx| {
+                let data = if ctx.rank == 0 {
+                    Some(vec![42.0, 7.0])
+                } else {
+                    None
+                };
+                ctx.broadcast(&group, 0, data, 100, "b")
+            });
+            for v in vals {
+                assert_eq!(v, vec![42.0, 7.0]);
+            }
+            assert_eq!(stats.total_sent(), 2 * (p as u64 - 1), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let group = vec![0, 1, 2, 3, 4];
+        let (vals, _) = run_spmd(5, |ctx| {
+            let data = if ctx.rank == 3 { Some(vec![9.0]) } else { None };
+            ctx.broadcast(&group, 3, data, 5, "b")
+        });
+        assert!(vals.iter().all(|v| v == &vec![9.0]));
+    }
+
+    #[test]
+    fn reduce_sums_once() {
+        for p in [1, 2, 4, 6, 7] {
+            let group: Vec<usize> = (0..p).collect();
+            let (vals, stats) = run_spmd(p, |ctx| {
+                ctx.reduce_sum(&group, 0, vec![1.0, ctx.rank as f64], 11, "r")
+            });
+            let total: f64 = (0..p).map(|r| r as f64).sum();
+            assert_eq!(vals[0], Some(vec![p as f64, total]), "p={p}");
+            assert!(vals[1..].iter().all(|v| v.is_none()));
+            assert_eq!(stats.total_sent(), 2 * (p as u64 - 1), "p={p}");
+        }
+    }
+
+    #[test]
+    fn allreduce_everyone_gets_sum() {
+        let group = vec![0, 1, 2, 3];
+        let (vals, _) = run_spmd(4, |ctx| {
+            ctx.allreduce_sum(&group, vec![ctx.rank as f64], 21, "ar")
+        });
+        assert!(vals.iter().all(|v| v == &vec![6.0]));
+    }
+
+    #[test]
+    fn butterfly_max_converges() {
+        // combine = elementwise max; all ranks must end with the global max
+        for p in [2, 4, 8] {
+            let group: Vec<usize> = (0..p).collect();
+            let (vals, stats) = run_spmd(p, |ctx| {
+                ctx.butterfly(&group, vec![ctx.rank as f64], 31, "t", |a, b| {
+                    vec![a[0].max(b[0])]
+                })
+            });
+            assert!(vals.iter().all(|v| v[0] == (p - 1) as f64), "p={p}");
+            let rounds = (usize::BITS - (p - 1).leading_zeros()) as u64;
+            assert_eq!(stats.total_sent(), p as u64 * rounds, "p={p}");
+        }
+    }
+
+    #[test]
+    fn allreduce_with_converges_for_any_group_size() {
+        // regression: a butterfly is NOT a valid allreduce off powers of
+        // two (rank 1 of a 3-group never sees rank 2's value, which
+        // deadlocked the first threaded LU); allreduce_with must converge
+        // for every size.
+        for p in [2usize, 3, 5, 6, 7, 8] {
+            let group: Vec<usize> = (0..p).collect();
+            let (vals, _) = run_spmd(p, |ctx| {
+                // max of (value, origin) pairs; max lives on the LAST rank
+                ctx.allreduce_with(
+                    &group,
+                    vec![ctx.rank as f64, ctx.rank as f64],
+                    55,
+                    "armax",
+                    |x, y| if x[0] >= y[0] { x } else { y },
+                )
+            });
+            for (r, v) in vals.iter().enumerate() {
+                assert_eq!(v[1] as usize, p - 1, "p={p} rank {r} missed the max");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_with_noncommutative_combiner_is_deterministic() {
+        // combine = concat-order-sensitive checksum; all ranks must agree
+        let p = 6;
+        let group: Vec<usize> = (0..p).collect();
+        let (vals, _) = run_spmd(p, |ctx| {
+            ctx.allreduce_with(&group, vec![(ctx.rank + 1) as f64], 56, "nc", |x, y| {
+                vec![x[0] * 10.0 + y[0]]
+            })
+        });
+        for v in &vals {
+            assert_eq!(v, &vals[0]);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let group = vec![0, 1, 2];
+        let (vals, _) = run_spmd(3, |ctx| {
+            let gathered = ctx.gather(&group, 0, vec![ctx.rank as f64; ctx.rank + 1], 41, "g");
+            let chunks = gathered.map(|mut g| {
+                // root reverses chunk order before scattering back
+                g.reverse();
+                g
+            });
+            ctx.scatter(&group, 0, chunks, 51, "s")
+        });
+        assert_eq!(vals[0], vec![2.0, 2.0, 2.0]);
+        assert_eq!(vals[1], vec![1.0, 1.0]);
+        assert_eq!(vals[2], vec![0.0]);
+    }
+
+    #[test]
+    fn subgroup_communication_does_not_leak() {
+        // two disjoint groups operate concurrently with the same tags
+        let (vals, _) = run_spmd(4, |ctx| {
+            let group = if ctx.rank < 2 { vec![0, 1] } else { vec![2, 3] };
+            let root = group[0];
+            let data = if ctx.rank == root {
+                Some(vec![root as f64])
+            } else {
+                None
+            };
+            ctx.broadcast(&group, root, data, 99, "b")
+        });
+        assert_eq!(vals, vec![vec![0.0], vec![0.0], vec![2.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn self_send_is_free_and_receivable() {
+        let (vals, stats) = run_spmd(2, |ctx| {
+            ctx.send(ctx.rank, 3, vec![5.0], "self");
+            ctx.recv(ctx.rank, 3)[0]
+        });
+        assert_eq!(vals, vec![5.0, 5.0]);
+        assert_eq!(stats.total_sent(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Processor grid topologies.
+//!
+//! COnfLUX decomposes `P` processors into a 3D grid `[√P1, √P1, c]` where
+//! `P1 = N²/M` is the number of 2D tiles and `c = PM/N²` the replication
+//! depth (Section 7.4). The 2D baselines use `[pr, pc]` grids. This module
+//! provides rank <-> coordinate mapping and the subcommunicator enumerations
+//! the algorithms need (`[:, j, k]` row groups, layers, etc.).
+
+use crate::stats::Rank;
+
+/// A `pr x pc x c` processor grid. Set `c = 1` for plain 2D grids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid3D {
+    /// First (row) dimension.
+    pub pr: usize,
+    /// Second (column) dimension.
+    pub pc: usize,
+    /// Third (replication/layer) dimension.
+    pub c: usize,
+}
+
+/// Coordinates of a rank inside a [`Grid3D`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coord3D {
+    /// Row coordinate in `[0, pr)`.
+    pub i: usize,
+    /// Column coordinate in `[0, pc)`.
+    pub j: usize,
+    /// Layer coordinate in `[0, c)`.
+    pub k: usize,
+}
+
+impl Grid3D {
+    /// Create a grid; all dimensions must be positive.
+    pub fn new(pr: usize, pc: usize, c: usize) -> Self {
+        assert!(
+            pr > 0 && pc > 0 && c > 0,
+            "grid dimensions must be positive"
+        );
+        Self { pr, pc, c }
+    }
+
+    /// A square 2D grid `q x q x 1`.
+    pub fn square2d(q: usize) -> Self {
+        Self::new(q, q, 1)
+    }
+
+    /// Total number of ranks in the grid.
+    pub fn ranks(&self) -> usize {
+        self.pr * self.pc * self.c
+    }
+
+    /// Rank of coordinates `(i, j, k)`; layer-major, then row-major.
+    pub fn rank_of(&self, i: usize, j: usize, k: usize) -> Rank {
+        debug_assert!(i < self.pr && j < self.pc && k < self.c);
+        (k * self.pr + i) * self.pc + j
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coord_of(&self, rank: Rank) -> Coord3D {
+        debug_assert!(rank < self.ranks());
+        let j = rank % self.pc;
+        let rest = rank / self.pc;
+        let i = rest % self.pr;
+        let k = rest / self.pr;
+        Coord3D { i, j, k }
+    }
+
+    /// All ranks, in rank order.
+    pub fn all_ranks(&self) -> Vec<Rank> {
+        (0..self.ranks()).collect()
+    }
+
+    /// The `[:, j, k]` subcommunicator: all ranks sharing column `j` and
+    /// layer `k`, ordered by row coordinate.
+    pub fn column_group(&self, j: usize, k: usize) -> Vec<Rank> {
+        (0..self.pr).map(|i| self.rank_of(i, j, k)).collect()
+    }
+
+    /// The `[i, :, k]` subcommunicator, ordered by column coordinate.
+    pub fn row_group(&self, i: usize, k: usize) -> Vec<Rank> {
+        (0..self.pc).map(|j| self.rank_of(i, j, k)).collect()
+    }
+
+    /// The `[i, j, :]` subcommunicator (the replication "fiber"),
+    /// ordered by layer.
+    pub fn layer_fiber(&self, i: usize, j: usize) -> Vec<Rank> {
+        (0..self.c).map(|k| self.rank_of(i, j, k)).collect()
+    }
+
+    /// All ranks of layer `k`, row-major.
+    pub fn layer_ranks(&self, k: usize) -> Vec<Rank> {
+        let mut v = Vec::with_capacity(self.pr * self.pc);
+        for i in 0..self.pr {
+            for j in 0..self.pc {
+                v.push(self.rank_of(i, j, k));
+            }
+        }
+        v
+    }
+}
+
+/// Factor `p` into the most-square `pr x pc` 2D grid with `pr * pc == p`
+/// and `pr <= pc` (what ScaLAPACK-style libraries do greedily).
+pub fn squarest_2d(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
+
+/// The largest integer `q` with `q * q <= p`.
+pub fn isqrt(p: usize) -> usize {
+    let mut q = (p as f64).sqrt() as usize;
+    while (q + 1) * (q + 1) <= p {
+        q += 1;
+    }
+    while q * q > p {
+        q -= 1;
+    }
+    q
+}
+
+/// The largest integer `r` with `r^3 <= p`.
+pub fn icbrt(p: usize) -> usize {
+    let mut r = (p as f64).cbrt() as usize;
+    while (r + 1) * (r + 1) * (r + 1) <= p {
+        r += 1;
+    }
+    while r * r * r > p {
+        r = r.saturating_sub(1);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = Grid3D::new(3, 4, 2);
+        for r in 0..g.ranks() {
+            let c = g.coord_of(r);
+            assert_eq!(g.rank_of(c.i, c.j, c.k), r);
+        }
+    }
+
+    #[test]
+    fn ranks_count() {
+        assert_eq!(Grid3D::new(2, 2, 2).ranks(), 8);
+        assert_eq!(Grid3D::square2d(5).ranks(), 25);
+    }
+
+    #[test]
+    fn groups_have_expected_sizes_and_membership() {
+        let g = Grid3D::new(3, 4, 2);
+        let col = g.column_group(1, 1);
+        assert_eq!(col.len(), 3);
+        for (i, &r) in col.iter().enumerate() {
+            let c = g.coord_of(r);
+            assert_eq!((c.i, c.j, c.k), (i, 1, 1));
+        }
+        let row = g.row_group(2, 0);
+        assert_eq!(row.len(), 4);
+        assert!(row
+            .iter()
+            .all(|&r| g.coord_of(r).i == 2 && g.coord_of(r).k == 0));
+        let fiber = g.layer_fiber(1, 2);
+        assert_eq!(fiber.len(), 2);
+        assert!(fiber
+            .iter()
+            .all(|&r| g.coord_of(r).i == 1 && g.coord_of(r).j == 2));
+    }
+
+    #[test]
+    fn layer_ranks_partition_grid() {
+        let g = Grid3D::new(2, 3, 2);
+        let mut all: Vec<Rank> = (0..g.c).flat_map(|k| g.layer_ranks(k)).collect();
+        all.sort_unstable();
+        assert_eq!(all, g.all_ranks());
+    }
+
+    #[test]
+    fn squarest_2d_factors() {
+        assert_eq!(squarest_2d(16), (4, 4));
+        assert_eq!(squarest_2d(12), (3, 4));
+        assert_eq!(squarest_2d(7), (1, 7));
+        assert_eq!(squarest_2d(64), (8, 8));
+        assert_eq!(squarest_2d(1), (1, 1));
+    }
+
+    #[test]
+    fn integer_roots() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(24), 4);
+        assert_eq!(isqrt(25), 5);
+        assert_eq!(icbrt(1), 1);
+        assert_eq!(icbrt(7), 1);
+        assert_eq!(icbrt(8), 2);
+        assert_eq!(icbrt(1024), 10);
+    }
+}

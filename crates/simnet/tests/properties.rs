@@ -1,0 +1,99 @@
+//! Property-based tests of the simulator: collective volume formulas,
+//! grid index arithmetic, and threaded-backend semantics under random
+//! shapes.
+
+use proptest::prelude::*;
+use simnet::collectives;
+use simnet::topology::Grid3D;
+use simnet::{run_spmd, Network};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collective_totals_match_closed_forms(p in 1usize..64, n in 1u64..1000) {
+        let total = |v: &[(u64, u64)]| v.iter().map(|(s, _)| s).sum::<u64>();
+        prop_assert_eq!(total(&collectives::binomial_broadcast(p, n)), (p as u64 - 1) * n);
+        prop_assert_eq!(total(&collectives::binomial_reduce(p, n)), (p as u64 - 1) * n);
+        prop_assert_eq!(total(&collectives::scatter(p, n)), (p as u64 - 1) * n);
+        prop_assert_eq!(total(&collectives::ring_allgather(p, n)), p as u64 * (p as u64 - 1) * n);
+    }
+
+    #[test]
+    fn sends_equal_receives_for_all_collectives(p in 1usize..40, n in 1u64..500) {
+        for v in [
+            collectives::binomial_broadcast(p, n),
+            collectives::flat_broadcast(p, n),
+            collectives::binomial_reduce(p, n),
+            collectives::recursive_doubling_allreduce(p, n),
+            collectives::scatter(p, n),
+            collectives::gather(p, n),
+            collectives::ring_allgather(p, n),
+            collectives::butterfly_exchange(p, n),
+            collectives::reduce_scatter(p, n),
+        ] {
+            let sent: u64 = v.iter().map(|(s, _)| s).sum();
+            let recv: u64 = v.iter().map(|(_, r)| r).sum();
+            prop_assert_eq!(sent, recv);
+        }
+    }
+
+    #[test]
+    fn grid_rank_coordinate_bijection(pr in 1usize..8, pc in 1usize..8, c in 1usize..5) {
+        let g = Grid3D::new(pr, pc, c);
+        let mut seen = vec![false; g.ranks()];
+        for i in 0..pr {
+            for j in 0..pc {
+                for k in 0..c {
+                    let r = g.rank_of(i, j, k);
+                    prop_assert!(!seen[r], "rank collision");
+                    seen[r] = true;
+                    let back = g.coord_of(r);
+                    prop_assert_eq!((back.i, back.j, back.k), (i, j, k));
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn network_broadcast_volume_independent_of_root(p in 2usize..16, n in 1u64..100, root in 0usize..16) {
+        let root = root % p;
+        let group: Vec<usize> = (0..p).collect();
+        let mut a = Network::new(p);
+        a.broadcast(&group, n, "x");
+        let mut b = Network::new(p);
+        b.broadcast_from(root, &group, n, "x");
+        prop_assert_eq!(a.stats.total_sent(), b.stats.total_sent());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn threaded_allreduce_is_correct_for_any_group(p in 1usize..9, len in 1usize..20) {
+        let group: Vec<usize> = (0..p).collect();
+        let (vals, _) = run_spmd(p, |ctx| {
+            ctx.allreduce_sum(&group, vec![(ctx.rank + 1) as f64; len], 77, "ar")
+        });
+        let expect = (p * (p + 1) / 2) as f64;
+        for v in vals {
+            prop_assert_eq!(v.len(), len);
+            prop_assert!(v.iter().all(|&x| (x - expect).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn threaded_broadcast_from_any_root(p in 1usize..9, root in 0usize..9) {
+        let root = root % p;
+        let group: Vec<usize> = (0..p).collect();
+        let (vals, _) = run_spmd(p, |ctx| {
+            let data = (ctx.rank == root).then(|| vec![root as f64 * 3.0]);
+            ctx.broadcast(&group, root, data, 78, "b")
+        });
+        for v in vals {
+            prop_assert_eq!(v, vec![root as f64 * 3.0]);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 5, as a trace: run COnfLUX on the paper's P = 8 (2x2x2 grid)
+//! configuration with tracing enabled and print who communicates with whom
+//! in each of Algorithm 1's steps — the textual version of the paper's
+//! decomposition diagram.
+//!
+//! Run with `cargo run --release --example fig5_trace`.
+
+use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
+use conflux_repro::simnet::network::TraceEvent;
+
+fn main() {
+    let n = 16;
+    let v = 4;
+    let grid = LuGrid::new(8, 2, 2); // Figure 5's 2x2x2 grid
+    let mut cfg = ConfluxConfig::phantom(n, v, grid);
+    cfg.trace = true;
+
+    println!(
+        "COnfLUX on the Figure-5 grid [2,2,2], N = {n}, v = {v} ({} steps)\n",
+        n / v
+    );
+    let run = factorize(&cfg, None);
+    let trace = run.trace.expect("tracing was enabled");
+
+    let mut current_phase = "";
+    let mut shown_per_phase = 0;
+    for ev in &trace {
+        let phase = match ev {
+            TraceEvent::P2p { phase, .. } | TraceEvent::Collective { phase, .. } => phase,
+        };
+        if *phase != current_phase {
+            current_phase = phase;
+            shown_per_phase = 0;
+            println!("--- {phase} ---");
+        }
+        shown_per_phase += 1;
+        if shown_per_phase > 6 {
+            if shown_per_phase == 7 {
+                println!("      ...");
+            }
+            continue;
+        }
+        match ev {
+            TraceEvent::P2p {
+                src, dst, elems, ..
+            } => {
+                println!("      rank {src:>2} -> rank {dst:<2}  {elems} elements");
+            }
+            TraceEvent::Collective {
+                op, group, elems, ..
+            } => {
+                println!("      {op:<10} over ranks {group:?}, {elems} elements/msg");
+            }
+        }
+    }
+
+    println!(
+        "\ntotal events: {}, total volume: {} elements",
+        trace.len(),
+        run.stats.total_sent()
+    );
+    println!("\nper-phase volumes (matches Algorithm 1's cost annotations):");
+    print!("{}", run.stats.phase_table());
+}

@@ -1,0 +1,70 @@
+//! Derive the paper's I/O lower bounds with the `iobound` machinery:
+//! the Section 6 parallel LU bound, the MMM and Cholesky bounds, and the
+//! Section 4.1/4.2 inter-statement reuse examples.
+//!
+//! Run with `cargo run --release --example lower_bounds`.
+
+use conflux_repro::iobound::{kernels, lu_bound, minimize_rho, mmm_bound, shapes, statement_rho};
+
+fn main() {
+    let n = 16384.0;
+    let m = 1_048_576.0; // 1 Mi elements of fast memory (8 MB)
+    let p = 1024;
+
+    println!("== computational intensities (Lemma 2 + Lemma 6) ==");
+    let mmm = minimize_rho(&shapes::mmm(), m).unwrap();
+    println!(
+        "MMM:    X0 = {:.0} (= 3M),  rho = {:.2} (= sqrt(M)/2 = {:.2})",
+        mmm.x0,
+        mmm.rho,
+        m.sqrt() / 2.0
+    );
+    let s1 = statement_rho(&shapes::lu_s1(), m, 1);
+    println!("LU S1:  rho = {s1} (Lemma 6, u = 1)");
+    let s2 = minimize_rho(&shapes::lu_s2(), m).unwrap();
+    println!("LU S2:  rho = {:.2} (= sqrt(M)/2)", s2.rho);
+
+    println!("\n== Section 6: parallel LU lower bound ==");
+    let b = lu_bound(n, m);
+    println!(
+        "Q_S1 >= {:.3e}   (N(N-1)/2 = {:.3e})",
+        b.q_s1,
+        n * (n - 1.0) / 2.0
+    );
+    println!(
+        "Q_S2 >= {:.3e}   ((2N^3-6N^2+4N)/(3 sqrt(M)) = {:.3e})",
+        b.q_s2,
+        (2.0 * n * n * n - 6.0 * n * n + 4.0 * n) / (3.0 * m.sqrt())
+    );
+    println!("sequential:  Q_LU >= {:.3e}", b.q_total);
+    println!(
+        "parallel  :  Q_LU >= {:.3e} per rank at P = {p}",
+        b.parallel(p)
+    );
+    println!(
+        "leading term 2N^3/(3P sqrt(M)) = {:.3e}",
+        2.0 * n * n * n / (3.0 * p as f64 * m.sqrt())
+    );
+    println!(
+        "COnfLUX achieves N^3/(P sqrt(M)) = {:.3e}  ->  factor {:.3} over the bound",
+        n * n * n / (p as f64 * m.sqrt()),
+        (n * n * n / (p as f64 * m.sqrt())) / b.parallel(p)
+    );
+
+    println!("\n== other kernels ==");
+    println!("MMM:      Q >= {:.3e}  (2N^3/sqrt(M))", mmm_bound(n, m));
+    println!(
+        "Cholesky: Q >= {:.3e}  (~N^3/(3 sqrt(M)))",
+        kernels::cholesky_bound(n, m)
+    );
+
+    println!("\n== Section 4.1: input-reuse example ==");
+    let (qs, qt, reuse, qtot) = kernels::sec41_example(4096.0, 1024.0);
+    println!(
+        "Q_S = {qs:.3e}, Q_T = {qt:.3e}, Reuse(B) = {reuse:.3e}  =>  Q_tot >= {qtot:.3e} (= N^3/M)"
+    );
+
+    println!("\n== Section 4.2: output-reuse (recomputation) example ==");
+    let (alone, combined) = kernels::sec42_example(4096.0, 1024.0);
+    println!("T alone: Q >= {alone:.3e} (2N^3/sqrt(M));  with free producer: Q >= {combined:.3e} (N^3/M)");
+}

@@ -1,0 +1,57 @@
+//! Weak-scaling demo (a development-scale Figure 6b): with constant work
+//! per node (N = 800·∛P), COnfLUX's per-node volume stays flat while the
+//! 2D baseline grows like P^(1/6).
+//!
+//! Run with `cargo run --release --example weak_scaling`.
+
+use conflux_repro::baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
+use conflux_repro::conflux::{choose_grid, factorize, ConfluxConfig, Mode};
+
+fn main() {
+    println!("weak scaling: N = 800 * P^(1/3), per-node communication volume\n");
+    println!(
+        "{:>6} {:>8} {:>18} {:>18}",
+        "P", "N", "2D bytes/node", "COnfLUX bytes/node"
+    );
+
+    let mut first: Option<(f64, f64)> = None;
+    let mut last = (0.0, 0.0);
+    for p in [8usize, 27, 64, 216, 512] {
+        let cbrt = (p as f64).cbrt().round() as usize;
+        let n = 800 * cbrt;
+        let m = ((n * n) as f64 / (p as f64).powf(2.0 / 3.0)) as usize;
+
+        let lu2d = factorize_2d(
+            &Lu2dConfig::for_ranks(n, p, Variant::LibSci, Mode::Phantom),
+            None,
+        );
+        let grid = choose_grid(p, n, m);
+        // block size: a divisor of n near 4c (the paper's v = a*c)
+        let cap = (4 * grid.c).max(16);
+        let v = (grid.c..=n)
+            .rfind(|d| n.is_multiple_of(*d) && *d <= cap)
+            .unwrap_or(grid.c);
+        let cfx = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+
+        let per2d = lu2d.stats.total_sent() as f64 * 8.0 / p as f64;
+        let percf = cfx.stats.total_sent() as f64 * 8.0 / p as f64;
+        println!("{p:>6} {n:>8} {per2d:>18.0} {percf:>18.0}");
+        if first.is_none() {
+            first = Some((per2d, percf));
+        }
+        last = (per2d, percf);
+    }
+
+    let (first2d, firstcf) = first.unwrap();
+    let (last2d, lastcf) = last;
+    println!(
+        "\n2D growth   : {:.2}x  (theory: P^(1/6) = {:.2}x)",
+        last2d / first2d,
+        (512.0_f64 / 8.0).powf(1.0 / 6.0)
+    );
+    println!("COnfLUX growth: {:.2}x  (theory: flat)", lastcf / firstcf);
+    assert!(
+        lastcf / firstcf < last2d / first2d,
+        "2.5D must scale better than 2D"
+    );
+}

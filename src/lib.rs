@@ -1,0 +1,12 @@
+//! `conflux-repro` — top-level façade of the COnfLUX reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! `use conflux_repro::...` a single dependency. See `README.md` for the
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use baselines;
+pub use conflux;
+pub use denselin;
+pub use iobound;
+pub use pebbling;
+pub use simnet;

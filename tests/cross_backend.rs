@@ -1,0 +1,115 @@
+//! Backend equivalence: the orchestrated volume accountant and the
+//! real-threads SPMD backend must charge identical volumes for the same
+//! communication patterns — the property that lets the Phantom-mode
+//! paper-scale sweeps stand in for genuinely distributed execution.
+
+use conflux_repro::simnet::{run_spmd, Network};
+
+#[test]
+fn broadcast_volumes_agree() {
+    for p in [2usize, 3, 4, 5, 8, 13] {
+        let group: Vec<usize> = (0..p).collect();
+        let elems = 17usize;
+        let (_, threaded) = run_spmd(p, |ctx| {
+            let data = (ctx.rank == 0).then(|| vec![1.0; elems]);
+            ctx.broadcast(&group, 0, data, 9, "b");
+        });
+        let mut net = Network::new(p);
+        net.broadcast(&group, elems as u64, "b");
+        assert_eq!(threaded.total_sent(), net.stats.total_sent(), "p={p}");
+        for r in 0..p {
+            assert_eq!(threaded.sent_by(r), net.stats.sent_by(r), "p={p} rank={r}");
+            assert_eq!(
+                threaded.received_by(r),
+                net.stats.received_by(r),
+                "p={p} rank={r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_volumes_agree() {
+    for p in [2usize, 4, 6, 7, 9] {
+        let group: Vec<usize> = (0..p).collect();
+        let elems = 11usize;
+        let (_, threaded) = run_spmd(p, |ctx| {
+            ctx.reduce_sum(&group, 0, vec![ctx.rank as f64; elems], 10, "r");
+        });
+        let mut net = Network::new(p);
+        net.reduce(&group, elems as u64, "r");
+        assert_eq!(threaded.total_sent(), net.stats.total_sent(), "p={p}");
+        for r in 0..p {
+            assert_eq!(threaded.sent_by(r), net.stats.sent_by(r), "p={p} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn butterfly_volumes_agree() {
+    for p in [2usize, 4, 8, 16] {
+        let group: Vec<usize> = (0..p).collect();
+        let elems = 20usize;
+        let (_, threaded) = run_spmd(p, |ctx| {
+            ctx.butterfly(&group, vec![0.0; elems], 11, "t", |a, _b| a);
+        });
+        let mut net = Network::new(p);
+        net.butterfly(&group, elems as u64, "t");
+        assert_eq!(threaded.total_sent(), net.stats.total_sent(), "p={p}");
+        for r in 0..p {
+            assert_eq!(threaded.sent_by(r), net.stats.sent_by(r), "p={p} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn scatter_gather_volumes_agree() {
+    let p = 6;
+    let group: Vec<usize> = (0..p).collect();
+    let elems = 5usize;
+    let (_, threaded) = run_spmd(p, |ctx| {
+        let chunks = (ctx.rank == 0).then(|| (0..p).map(|_| vec![0.0; elems]).collect::<Vec<_>>());
+        let mine = ctx.scatter(&group, 0, chunks, 12, "s");
+        ctx.gather(&group, 0, mine, 13, "g");
+    });
+    let mut net = Network::new(p);
+    net.scatter(&group, elems as u64, "s");
+    net.gather(&group, elems as u64, "g");
+    assert_eq!(threaded.total_sent(), net.stats.total_sent());
+    assert_eq!(threaded.sent_by(0), net.stats.sent_by(0));
+}
+
+#[test]
+fn composed_step_pattern_agrees() {
+    // a COnfLUX-step-like composite: reduce a column group, butterfly the
+    // tournament, broadcast A00 — executed on threads vs charged centrally
+    let p = 8;
+    let v = 3usize;
+    let col_group = vec![0usize, 2, 4, 6];
+    let all: Vec<usize> = (0..p).collect();
+    let (_, threaded) = run_spmd(p, |ctx| {
+        if col_group.contains(&ctx.rank) {
+            ctx.reduce_sum(&col_group, col_group[0], vec![1.0; v * v], 20, "01:reduce");
+            ctx.butterfly(
+                &col_group,
+                vec![0.0; v * (v + 1)],
+                21,
+                "02:tournament",
+                |a, _| a,
+            );
+        }
+        let data = (ctx.rank == col_group[0]).then(|| vec![0.0; v * v + v]);
+        ctx.broadcast(&all, col_group[0], data, 22, "03:bcast");
+    });
+    let mut net = Network::new(p);
+    net.reduce(&col_group, (v * v) as u64, "01:reduce");
+    net.butterfly(&col_group, (v * (v + 1)) as u64, "02:tournament");
+    net.broadcast_from(col_group[0], &all, (v * v + v) as u64, "03:bcast");
+    for phase in ["01:reduce", "02:tournament", "03:bcast"] {
+        assert_eq!(
+            threaded.sent_in_phase(phase),
+            net.stats.sent_in_phase(phase),
+            "phase {phase}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Numerical equivalence: every distributed LU in the workspace must
+//! produce factors of the same quality as the serial reference on the same
+//! matrix, across grid shapes and block sizes.
+
+use conflux_repro::baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
+use conflux_repro::baselines::{factorize_candmc, CandmcConfig};
+use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
+use conflux_repro::denselin::{lu_unblocked, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(seed: u64, n: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random(&mut rng, n, n)
+}
+
+#[test]
+fn conflux_matches_serial_quality_across_grids() {
+    for (seed, n, v, q, c) in [
+        (100, 32, 4, 1, 1),
+        (101, 48, 4, 2, 1),
+        (102, 64, 8, 2, 2),
+        (103, 60, 4, 3, 1),
+        (104, 96, 8, 2, 4),
+        (105, 72, 12, 3, 2),
+    ] {
+        let a = random_matrix(seed, n);
+        let serial = lu_unblocked(&a).unwrap();
+        let grid = LuGrid::new(q * q * c, q, c);
+        let run = factorize(&ConfluxConfig::dense(n, v, grid), Some(&a));
+        let f = run.factors.unwrap();
+        let res = f.residual(&a);
+        let serial_res = serial.residual(&a);
+        // tournament pivoting is allowed a modest stability factor over
+        // partial pivoting (Grigori et al.), but both should be ~machine eps
+        assert!(
+            res < 1e4 * serial_res.max(1e-15),
+            "n={n} q={q} c={c}: distributed residual {res:.2e} vs serial {serial_res:.2e}"
+        );
+        assert!(
+            res < 1e-9,
+            "n={n} q={q} c={c}: residual too large: {res:.2e}"
+        );
+    }
+}
+
+#[test]
+fn lu2d_is_exactly_partial_pivoting() {
+    for (seed, n, p, nb) in [(200, 40, 4, 8), (201, 64, 16, 16), (202, 50, 2, 5)] {
+        let a = random_matrix(seed, n);
+        let mut cfg =
+            Lu2dConfig::for_ranks(n, p, Variant::LibSci, conflux_repro::conflux::Mode::Dense);
+        cfg.nb = nb;
+        let run = factorize_2d(&cfg, Some(&a));
+        let f = run.factors.unwrap();
+        let reference = lu_unblocked(&a).unwrap();
+        assert_eq!(
+            f.perm, reference.perm,
+            "n={n} p={p} nb={nb}: pivot order differs"
+        );
+        assert!(
+            f.lu.allclose(&reference.lu, 1e-9),
+            "n={n} p={p} nb={nb}: factors differ"
+        );
+    }
+}
+
+#[test]
+fn candmc_produces_valid_factorizations() {
+    for (seed, n, v, q, c) in [(300, 48, 8, 2, 1), (301, 64, 8, 2, 2), (302, 96, 16, 2, 2)] {
+        let a = random_matrix(seed, n);
+        let grid = LuGrid::new(q * q * c, q, c);
+        let run = factorize_candmc(&CandmcConfig::dense(n, v, grid), Some(&a));
+        let f = run.factors.unwrap();
+        let res = f.residual(&a);
+        assert!(res < 1e-9, "n={n} q={q} c={c}: residual {res:.2e}");
+    }
+}
+
+#[test]
+fn all_four_solve_the_same_system() {
+    // end to end: factor with each implementation, solve, compare solutions
+    let n = 64;
+    let a = random_matrix(400, n);
+    let mut rng = StdRng::seed_from_u64(401);
+    let x_true = Matrix::random(&mut rng, n, 1);
+    let b = a.matmul(&x_true);
+
+    // serial
+    let serial_x = lu_unblocked(&a).unwrap().solve(&b);
+    assert!(serial_x.allclose(&x_true, 1e-7));
+
+    // conflux
+    let grid = LuGrid::new(8, 2, 2);
+    let f = factorize(&ConfluxConfig::dense(n, 8, grid), Some(&a))
+        .factors
+        .unwrap();
+    let mut y = b.gather_rows(&f.perm);
+    conflux_repro::denselin::trsm::trsm_lower_left(&f.l, &mut y, true);
+    conflux_repro::denselin::trsm::trsm_upper_left(&f.u, &mut y, false);
+    assert!(y.allclose(&x_true, 1e-6), "conflux solve mismatch");
+
+    // lu2d
+    let cfg = Lu2dConfig::for_ranks(n, 4, Variant::Slate, conflux_repro::conflux::Mode::Dense);
+    let f2 = factorize_2d(&cfg, Some(&a)).factors.unwrap();
+    assert!(f2.solve(&b).allclose(&x_true, 1e-6), "lu2d solve mismatch");
+
+    // candmc
+    let f3 = factorize_candmc(&CandmcConfig::dense(n, 8, grid), Some(&a))
+        .factors
+        .unwrap();
+    assert!(
+        f3.solve(&b).allclose(&x_true, 1e-6),
+        "candmc solve mismatch"
+    );
+}

@@ -1,0 +1,55 @@
+//! Latency (message-count) characteristics — Section 7.3's second claim:
+//! tournament pivoting reduces the `O(N)` critical-path latency of partial
+//! pivoting (one column reduction per pivot) to `O(N/v)` rounds.
+//!
+//! The simulator counts messages; per-column pivoting sends `Θ(N·log P)`
+//! pivot-search messages while the tournament sends `Θ((N/v)·log P)` —
+//! a factor-`v` reduction visible directly in the counters.
+
+use conflux_repro::baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
+use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid, Mode};
+
+#[test]
+fn tournament_needs_far_fewer_pivot_messages_than_per_column() {
+    let n = 512;
+    let p = 16;
+    let v = 32;
+
+    // 2D partial pivoting: one allreduce per column => >= n messages
+    let cfg2d = Lu2dConfig::for_ranks(n, p, Variant::LibSci, Mode::Phantom);
+    let run2d = factorize_2d(&cfg2d, None);
+    // count messages in the pivot-search phase
+    let pivot_msgs_2d = phase_messages(&run2d.stats, "panel:pivot-allreduce");
+
+    let grid = LuGrid::new(p, 2, 4);
+    let runx = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+    let pivot_msgs_x = phase_messages(&runx.stats, "02:tournament");
+
+    assert!(
+        pivot_msgs_x * 4 < pivot_msgs_2d,
+        "tournament should need far fewer pivot rounds: {pivot_msgs_x} vs {pivot_msgs_2d}"
+    );
+}
+
+#[test]
+fn total_message_count_scales_with_steps_not_columns() {
+    // doubling v halves the number of steps and thus the latency-bound
+    // phases (tournament + broadcasts), while volume stays near-constant
+    let n = 512;
+    let grid = LuGrid::new(16, 2, 4);
+    let run_small_v = factorize(&ConfluxConfig::phantom(n, 8, grid), None);
+    let run_large_v = factorize(&ConfluxConfig::phantom(n, 32, grid), None);
+    let msgs_small = phase_messages(&run_small_v.stats, "02:tournament")
+        + phase_messages(&run_small_v.stats, "03:bcast-a00");
+    let msgs_large = phase_messages(&run_large_v.stats, "02:tournament")
+        + phase_messages(&run_large_v.stats, "03:bcast-a00");
+    assert!(
+        msgs_large * 2 <= msgs_small,
+        "4x larger v should cut pivot-phase messages: {msgs_large} vs {msgs_small}"
+    );
+}
+
+/// Message count in one phase, summed over ranks.
+fn phase_messages(stats: &conflux_repro::simnet::CommStats, phase: &str) -> u64 {
+    stats.messages_in_phase(phase)
+}

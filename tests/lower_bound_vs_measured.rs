@@ -1,0 +1,100 @@
+//! Soundness across the whole stack: the symbolic parallel lower bound of
+//! Section 6 must be dominated by the *measured* communication of every
+//! implementation, at every configuration — and COnfLUX must sit within a
+//! small constant of it (the paper proves a factor 3/2 over the leading
+//! term; lower-order terms push the measured constant a little higher).
+
+use conflux_repro::baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
+use conflux_repro::baselines::{factorize_candmc, CandmcConfig};
+use conflux_repro::conflux::{choose_grid, factorize, ConfluxConfig, Mode};
+use conflux_repro::iobound::lu_bound;
+
+fn fig6_memory(n: usize, p: usize) -> usize {
+    ((n * n) as f64 / (p as f64).powf(2.0 / 3.0)).ceil() as usize
+}
+
+fn configs() -> Vec<(usize, usize, usize)> {
+    // (n, p, v)
+    vec![
+        (1024, 16, 16),
+        (1024, 64, 16),
+        (2048, 64, 16),
+        (2048, 256, 16),
+    ]
+}
+
+#[test]
+fn all_implementations_dominate_the_lower_bound() {
+    for (n, p, v) in configs() {
+        let m = fig6_memory(n, p);
+        let grid = choose_grid(p, n, m);
+        // the bound is per rank; use each run's actual memory regime
+        let m_used = grid.memory_per_rank(n) as f64;
+        let bound_per_rank = lu_bound(n as f64, m_used).parallel(grid.active());
+
+        let conflux_run = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+        let conflux_per_rank = conflux_run.stats.total_sent() as f64 / grid.active() as f64;
+        assert!(
+            conflux_per_rank >= bound_per_rank,
+            "COnfLUX beat the lower bound?! n={n} p={p}: {conflux_per_rank} < {bound_per_rank}"
+        );
+
+        let candmc_run = factorize_candmc(&CandmcConfig::phantom(n, v, grid), None);
+        let candmc_per_rank = candmc_run.stats.total_sent() as f64 / grid.active() as f64;
+        assert!(
+            candmc_per_rank >= bound_per_rank,
+            "CANDMC beat the bound: n={n} p={p}"
+        );
+
+        for variant in [Variant::LibSci, Variant::Slate] {
+            let run = factorize_2d(&Lu2dConfig::for_ranks(n, p, variant, Mode::Phantom), None);
+            let per_rank = run.stats.total_sent() as f64 / p as f64;
+            // 2D implementations use M = N^2/P per-rank memory at most;
+            // their bound is even higher, but the 2.5D-regime bound is a
+            // valid (weaker) floor too
+            assert!(
+                per_rank >= bound_per_rank,
+                "{variant:?} beat the bound: n={n} p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conflux_is_near_optimal() {
+    // the headline: COnfLUX's leading term is 3/2 of the lower bound's;
+    // with lower-order terms the measured ratio stays a small constant
+    for (n, p, v) in configs() {
+        let m = fig6_memory(n, p);
+        let grid = choose_grid(p, n, m);
+        let m_used = grid.memory_per_rank(n) as f64;
+        let bound_per_rank = lu_bound(n as f64, m_used).parallel(grid.active());
+        let run = factorize(&ConfluxConfig::phantom(n, v, grid), None);
+        let per_rank = run.stats.total_sent() as f64 / grid.active() as f64;
+        let ratio = per_rank / bound_per_rank;
+        assert!(
+            ratio < 6.0,
+            "COnfLUX too far from the bound at n={n} p={p}: ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn conflux_beats_2d_baselines_at_scale() {
+    // the paper's Fig. 6a claim, at simulator scale
+    let (n, p, v) = (4096, 256, 16);
+    let m = fig6_memory(n, p);
+    let grid = choose_grid(p, n, m);
+    let conflux_total = factorize(&ConfluxConfig::phantom(n, v, grid), None)
+        .stats
+        .total_sent();
+    for variant in [Variant::LibSci, Variant::Slate] {
+        let total = factorize_2d(&Lu2dConfig::for_ranks(n, p, variant, Mode::Phantom), None)
+            .stats
+            .total_sent();
+        assert!(
+            conflux_total < total,
+            "{variant:?} ({total}) should communicate more than COnfLUX ({conflux_total})"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! block-cyclic index arithmetic, LU reconstruction, tournament pivoting,
+//! volume conservation, and COnfLUX end-to-end correctness on random
+//! matrices, grids, and block sizes.
+
+use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
+use conflux_repro::denselin::blockcyclic::BlockCyclic1D;
+use conflux_repro::denselin::{lu_blocked, lu_unblocked, tournament_pivots, Matrix};
+use conflux_repro::simnet::Network;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_cyclic_roundtrip(n in 1usize..200, nb in 1usize..16, p in 1usize..8) {
+        let map = BlockCyclic1D::new(n, nb, p);
+        for g in 0..n {
+            let owner = map.owner(g);
+            prop_assert!(owner < p);
+            prop_assert_eq!(map.global_index(owner, map.local_index(g)), g);
+        }
+        let total: usize = (0..p).map(|q| map.local_len(q)).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn lu_reconstructs_random_matrices(seed in 0u64..1000, n in 2usize..24) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(&mut rng, n, n);
+        if let Ok(f) = lu_unblocked(&a) {
+            prop_assert!(f.residual(&a) < 1e-10, "residual {}", f.residual(&a));
+            // blocked agrees
+            let fb = lu_blocked(&a, 4).unwrap();
+            prop_assert_eq!(&f.perm, &fb.perm);
+        }
+    }
+
+    #[test]
+    fn tournament_pivots_are_distinct_and_in_range(
+        seed in 0u64..1000,
+        rows in 4usize..40,
+        v in 1usize..6,
+        parts in 1usize..6,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = v.min(rows);
+        let panel = Matrix::random(&mut rng, rows, v);
+        let sel = tournament_pivots(&panel, v, parts);
+        prop_assert_eq!(sel.pivot_rows.len(), v);
+        let mut sorted = sel.pivot_rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), v);
+        prop_assert!(sorted.iter().all(|&r| r < rows));
+    }
+
+    #[test]
+    fn network_send_receive_conservation(
+        ops in prop::collection::vec((0usize..6, 0usize..6, 1u64..100), 1..40)
+    ) {
+        let mut net = Network::new(6);
+        for &(src, dst, elems) in &ops {
+            net.send(src, dst, elems, "p2p");
+        }
+        let sent: u64 = (0..6).map(|r| net.stats.sent_by(r)).sum();
+        let recv: u64 = (0..6).map(|r| net.stats.received_by(r)).sum();
+        prop_assert_eq!(sent, recv);
+        let expected: u64 = ops.iter().filter(|(s, d, _)| s != d).map(|(_, _, e)| e).sum();
+        prop_assert_eq!(sent, expected);
+    }
+
+    #[test]
+    fn collective_volumes_conserve(group_size in 1usize..12, elems in 1u64..50) {
+        let mut net = Network::new(group_size);
+        let group: Vec<usize> = (0..group_size).collect();
+        net.broadcast(&group, elems, "b");
+        net.reduce(&group, elems, "r");
+        net.allgather(&group, elems, "ag");
+        net.butterfly(&group, elems, "t");
+        let sent: u64 = (0..group_size).map(|r| net.stats.sent_by(r)).sum();
+        let recv: u64 = (0..group_size).map(|r| net.stats.received_by(r)).sum();
+        prop_assert_eq!(sent, recv);
+    }
+}
+
+proptest! {
+    // heavier cases: fewer iterations
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conflux_correct_on_random_configs(
+        seed in 0u64..100,
+        nb_blocks in 3usize..8,
+        v_exp in 1usize..3,
+        q in 1usize..3,
+        c in 1usize..3,
+    ) {
+        use rand::SeedableRng;
+        let v = 4usize << v_exp; // 8 or 16
+        if v < c { return Ok(()); }
+        let n = nb_blocks * v;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(&mut rng, n, n);
+        let grid = LuGrid::new(q * q * c, q, c);
+        let run = factorize(&ConfluxConfig::dense(n, v, grid), Some(&a));
+        let f = run.factors.unwrap();
+        prop_assert!(f.residual(&a) < 1e-8, "residual {} at n={n} v={v} q={q} c={c}", f.residual(&a));
+        // permutation is a bijection
+        let mut p = f.perm.clone();
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn conflux_volume_independent_of_data(seed in 0u64..50) {
+        // two different matrices, same config + synthetic pivots
+        // => identical volumes
+        use conflux_repro::conflux::PivotChoice;
+        use rand::SeedableRng;
+        let n = 64;
+        let grid = LuGrid::new(8, 2, 2);
+        let mut cfg = ConfluxConfig::dense(n, 8, grid);
+        cfg.pivot_choice = PivotChoice::Synthetic;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let b = Matrix::random_diagonally_dominant(&mut rng, n);
+        let ra = factorize(&cfg, Some(&a));
+        let rb = factorize(&cfg, Some(&b));
+        prop_assert_eq!(ra.stats.total_sent(), rb.stats.total_sent());
+    }
+}
