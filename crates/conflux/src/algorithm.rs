@@ -18,8 +18,11 @@ use std::collections::HashSet;
 
 use denselin::matrix::Matrix;
 use denselin::trsm::{trsm_lower_left, trsm_upper_right};
+use simnet::error::SimnetError;
+use simnet::faults::FaultPlan;
 use simnet::network::{BcastAlgo, Network};
 use simnet::stats::CommStats;
+use simnet::topology::Grid3D;
 
 use crate::grid::LuGrid;
 use crate::pivoting::{select_pivots, PivotChoice, PivotRound, PivotStrategy};
@@ -47,6 +50,10 @@ pub struct ConfluxConfig {
     pub seed: u64,
     /// Record a full communication trace (see `simnet::network::TraceEvent`).
     pub trace: bool,
+    /// Fault schedule applied to the run (default: no faults). Drop and
+    /// duplicate events charge retransmission traffic; crash events trigger
+    /// the failover path (`c > 1`) or a structured abort.
+    pub faults: FaultPlan,
 }
 
 impl ConfluxConfig {
@@ -63,6 +70,7 @@ impl ConfluxConfig {
             bcast: BcastAlgo::Binomial,
             seed: 0x5eed,
             trace: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -78,7 +86,14 @@ impl ConfluxConfig {
             bcast: BcastAlgo::Binomial,
             seed: 0x5eed,
             trace: false,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Install a fault schedule (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -104,6 +119,7 @@ impl LuFactors {
 }
 
 /// Result of a COnfLUX run.
+#[derive(Debug)]
 pub struct ConfluxRun {
     /// Communication record.
     pub stats: CommStats,
@@ -111,9 +127,41 @@ pub struct ConfluxRun {
     pub factors: Option<LuFactors>,
     /// Event trace (only when `config.trace` was set).
     pub trace: Option<Vec<simnet::network::TraceEvent>>,
+    /// Retransmissions performed for dropped messages (threaded backend;
+    /// the orchestrated accountant folds retransmissions directly into
+    /// `stats` and reports 0 here).
+    pub retries: u64,
     /// The configuration that produced this run.
     pub config: ConfluxConfig,
 }
+
+/// A factorization that did not complete: the structured cause, the step it
+/// died in, and the per-phase communication statistics collected up to that
+/// point — everything a caller needs to triage a faulted run.
+#[derive(Clone, Debug)]
+pub struct LuError {
+    /// The structured error that aborted the run.
+    pub error: SimnetError,
+    /// Algorithm step (`t` of the `N/v` outer iterations) at the abort, if
+    /// known. Crash aborts know it exactly; timeouts discovered by a peer
+    /// may not.
+    pub step: Option<usize>,
+    /// Partial communication statistics at the time of failure.
+    pub stats: CommStats,
+    /// Retransmissions performed before the failure (threaded backend).
+    pub retries: u64,
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            Some(t) => write!(f, "LU factorization failed at step {t}: {}", self.error),
+            None => write!(f, "LU factorization failed: {}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
 
 struct StepOutput {
     pivots: Vec<usize>,
@@ -142,6 +190,43 @@ struct StepOutput {
 /// assert!(vol.stats.total_sent() > 0);
 /// ```
 pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
+    try_factorize(cfg, a).unwrap_or_else(|e| panic!("COnfLUX factorization failed: {e}"))
+}
+
+/// Fallible COnfLUX driver with graceful degradation under injected faults.
+///
+/// With a zero fault plan this is exactly [`factorize`] (and charges
+/// byte-identical volumes). Under a plan with crash events:
+///
+/// * a crash of a replication-layer rank (`k > 0`, requires `c > 1`)
+///   triggers **failover**: survivors are notified (`xx:failover`), the dead
+///   rank's role is remapped onto its layer-0 counterpart, and the run
+///   completes on the survivors. In fault-tolerant mode every step
+///   additionally replicates the factored panels to a backup layer
+///   (`08b:ft-backup-a10` / `10b:ft-backup-a01`), which is the redundancy
+///   that makes the lost partial updates recomputable;
+/// * a crash of a layer-0 rank, or any crash when `c == 1`, is
+///   unrecoverable: the run aborts cleanly with a [`LuError`] carrying the
+///   crashed rank, the step, and the per-phase statistics collected so far.
+///
+/// ```
+/// use conflux::{try_factorize, ConfluxConfig, LuGrid};
+/// use simnet::FaultPlan;
+///
+/// // crash a layer-1 rank mid-run: the survivors finish the factorization
+/// let grid = LuGrid::new(8, 2, 2);
+/// let cfg = ConfluxConfig::phantom(32, 4, grid)
+///     .with_faults(FaultPlan::new(1).with_crash(6, 3));
+/// let run = try_factorize(&cfg, None).unwrap();
+/// assert!(run.stats.sent_in_phase("xx:failover") > 0);
+///
+/// // crash a layer-0 rank: clean structured abort with partial stats
+/// let cfg = ConfluxConfig::phantom(32, 4, grid)
+///     .with_faults(FaultPlan::new(1).with_crash(0, 3));
+/// let err = try_factorize(&cfg, None).unwrap_err();
+/// assert_eq!(err.step, Some(3));
+/// ```
+pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxRun, LuError> {
     let (n, v) = (cfg.n, cfg.v);
     assert!(n % v == 0, "v must divide n");
     let (q, c) = (cfg.grid.q, cfg.grid.c);
@@ -159,6 +244,11 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         Network::new(p)
     };
     net.bcast_algo = cfg.bcast;
+    net.faults = cfg.faults.clone();
+    // fault-tolerant mode: only entered when the plan can crash ranks, so
+    // zero-fault runs charge exactly the baseline volumes
+    let ft = !cfg.faults.crashes().is_empty();
+    let mut alive = vec![true; p];
     let mut store = BlockStore::new(n, v, q, c, cfg.mode, a);
     let all_ranks = topo.all_ranks();
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -169,13 +259,54 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         let bct = t;
         let col_j = bct % q;
 
+        // ---- Crash arrivals at this step: abort or fail over ----
+        if ft {
+            let newly_dead: Vec<usize> = (0..p)
+                .filter(|&r| alive[r] && cfg.faults.should_crash(r, t))
+                .collect();
+            for &r in &newly_dead {
+                alive[r] = false;
+            }
+            for &r in &newly_dead {
+                let co = topo.coord_of(r);
+                if c == 1 || co.k == 0 {
+                    // layer 0 holds the only base copy: unrecoverable
+                    return Err(LuError {
+                        error: SimnetError::RankCrashed { rank: r, step: t },
+                        step: Some(t),
+                        stats: net.stats.clone(),
+                        retries: 0,
+                    });
+                }
+                // survivors learn of the failure from the dead rank's
+                // layer-0 counterpart (a small control broadcast)
+                let root = topo.rank_of(co.i, co.j, 0);
+                let survivors: Vec<usize> = (0..p).filter(|&s| alive[s]).collect();
+                net.broadcast_from(root, &survivors, 1, "xx:failover");
+            }
+        }
+        // effective rank: a dead replication-layer rank's role moves to its
+        // layer-0 counterpart (coalesced transfers become local and free)
+        let eff = |r: usize| -> usize {
+            if alive[r] {
+                r
+            } else {
+                let co = topo.coord_of(r);
+                topo.rank_of(co.i, co.j, 0)
+            }
+        };
+        let live_members =
+            |group: Vec<usize>| -> Vec<usize> { group.into_iter().filter(|&r| alive[r]).collect() };
+
         // ---- Step 1: reduce the current block column over the fibers ----
         let live_groups = rows_by_block(&remaining, v);
         for (br, rows) in &live_groups {
             if c > 1 {
-                let fiber = store.fiber(*br, bct);
+                let fiber = live_members(store.fiber(*br, bct));
                 let root = store.owner(*br, bct, 0);
-                net.reduce_onto(root, &fiber, (rows.len() * v) as u64, "01:reduce-column");
+                if fiber.len() > 1 {
+                    net.reduce_onto(root, &fiber, (rows.len() * v) as u64, "01:reduce-column");
+                }
             }
             store.fold_deltas(*br, bct, rows);
         }
@@ -199,9 +330,14 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         debug_assert_eq!(pivots.len(), v);
 
         // ---- Step 3: broadcast A00 + pivot row ids everywhere ----
+        let bcast_group: Vec<usize> = if ft {
+            (0..p).filter(|&r| alive[r]).collect()
+        } else {
+            all_ranks.clone()
+        };
         net.broadcast_from(
             pivot_group[0],
-            &all_ranks,
+            &bcast_group,
             (v * v + v) as u64,
             "03:bcast-a00",
         );
@@ -209,7 +345,6 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         let pivset: HashSet<usize> = pivots.iter().copied().collect();
         remaining.retain(|r| !pivset.contains(r));
         let rows10 = remaining.clone();
-        let n10 = rows10.len();
 
         // ---- Swapping ablation: physical row exchanges on all layers ----
         if cfg.pivot_strategy == PivotStrategy::Swapping {
@@ -217,8 +352,13 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         }
 
         // ---- Step 4: scatter A10 1D block-row over all ranks ----
-        for (src, dst, elems) in a10_scatter_plan(&store, &rows10, bct, p, v) {
-            net.send(src, dst, elems, "04:scatter-a10");
+        for e in a10_scatter_plan(&rows10, bct, p, v, q, &topo) {
+            net.send(
+                eff(e.src),
+                eff(e.dst),
+                (e.nrows * v) as u64,
+                "04:scatter-a10",
+            );
         }
         let mut a10 = (cfg.mode == Mode::Dense).then(|| store.read_rows(bct, &rows10));
 
@@ -229,14 +369,16 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         for (br, rows) in &piv_groups {
             for bc in t + 1..nb {
                 if c > 1 {
-                    let fiber = store.fiber(*br, bc);
+                    let fiber = live_members(store.fiber(*br, bc));
                     let root = store.owner(*br, bc, 0);
-                    net.reduce_onto(
-                        root,
-                        &fiber,
-                        (rows.len() * v) as u64,
-                        "05:reduce-pivot-rows",
-                    );
+                    if fiber.len() > 1 {
+                        net.reduce_onto(
+                            root,
+                            &fiber,
+                            (rows.len() * v) as u64,
+                            "05:reduce-pivot-rows",
+                        );
+                    }
                 }
                 store.fold_deltas(*br, bc, rows);
             }
@@ -245,8 +387,13 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         // ---- Step 6: scatter A01 1D block-column over all ranks ----
         let m01 = (nb - t - 1) * v;
         if m01 > 0 {
-            for (src, dst, elems) in a01_scatter_plan(&store, &piv_groups, t, nb, p, v, m01) {
-                net.send(src, dst, elems, "06:scatter-a01");
+            for e in a01_scatter_plan(&piv_groups, t, nb, p, v, m01, &topo, q) {
+                net.send(
+                    eff(e.src),
+                    eff(e.dst),
+                    (e.nrows * e.seg) as u64,
+                    "06:scatter-a01",
+                );
             }
         }
         let mut a01 =
@@ -259,10 +406,21 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
 
         // ---- Step 8: send factored A10 rows to layer kt ----
         let dst_cols: Vec<usize> = grid_cols_of_trailing(t, nb, q);
-        for (src, br, seg) in a10_send_segments(&rows10, p, v) {
+        for e in a10_send_segments(&rows10, p, v) {
             for &j in &dst_cols {
-                let dst = topo.rank_of(br % q, j, kt);
-                net.send(src, dst, (seg * v) as u64, "08:send-a10");
+                let dst = topo.rank_of(e.br % q, j, kt);
+                net.send(eff(e.src), eff(dst), (e.len * v) as u64, "08:send-a10");
+                if ft && c > 1 {
+                    // panel redundancy: a backup layer also gets the rows,
+                    // so a later crash of layer kt stays recoverable
+                    let backup = topo.rank_of(e.br % q, j, (kt + 1) % c);
+                    net.send(
+                        eff(e.src),
+                        eff(backup),
+                        (e.len * v) as u64,
+                        "08b:ft-backup-a10",
+                    );
+                }
             }
         }
 
@@ -274,10 +432,19 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
         // ---- Step 10: send factored A01 columns to layer kt ----
         let dst_rows: Vec<usize> = grid_rows_of_live(&live_groups, &pivset, q);
         if m01 > 0 {
-            for (src, bc, seg) in a01_send_segments(t, nb, p, v, m01) {
+            for e in a01_send_segments(t, nb, p, v, m01) {
                 for &i in &dst_rows {
-                    let dst = topo.rank_of(i, bc % q, kt);
-                    net.send(src, dst, (seg * v) as u64, "10:send-a01");
+                    let dst = topo.rank_of(i, e.bc % q, kt);
+                    net.send(eff(e.src), eff(dst), (e.seg * v) as u64, "10:send-a01");
+                    if ft && c > 1 {
+                        let backup = topo.rank_of(i, e.bc % q, (kt + 1) % c);
+                        net.send(
+                            eff(e.src),
+                            eff(backup),
+                            (e.seg * v) as u64,
+                            "10b:ft-backup-a01",
+                        );
+                    }
                 }
             }
         }
@@ -300,16 +467,16 @@ pub fn factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> ConfluxRun {
             a10,
             a01,
         });
-        let _ = n10;
     }
 
     let factors = (cfg.mode == Mode::Dense).then(|| assemble(n, v, &steps));
-    ConfluxRun {
+    Ok(ConfluxRun {
         stats: net.stats,
         factors,
         trace: net.trace,
+        retries: 0,
         config: cfg.clone(),
-    }
+    })
 }
 
 fn dense_a00(round: &PivotRound) -> Option<&Matrix> {
@@ -320,7 +487,7 @@ fn dense_a00(round: &PivotRound) -> Option<&Matrix> {
 }
 
 /// Grid columns owning at least one trailing block column.
-fn grid_cols_of_trailing(t: usize, nb: usize, q: usize) -> Vec<usize> {
+pub(crate) fn grid_cols_of_trailing(t: usize, nb: usize, q: usize) -> Vec<usize> {
     let mut cols: Vec<usize> = (t + 1..nb).map(|bc| bc % q).collect();
     cols.sort_unstable();
     cols.dedup();
@@ -328,7 +495,7 @@ fn grid_cols_of_trailing(t: usize, nb: usize, q: usize) -> Vec<usize> {
 }
 
 /// Grid rows owning at least one live (unmasked, unpivoted) row.
-fn grid_rows_of_live(
+pub(crate) fn grid_rows_of_live(
     live_groups: &[(usize, Vec<usize>)],
     pivset: &HashSet<usize>,
     q: usize,
@@ -343,52 +510,73 @@ fn grid_rows_of_live(
     rows
 }
 
-/// Step 4 plan: `(src, dst, elems)` transfers moving each live row's `v`
-/// pivot-column elements from its block owner to its 1D holder. Consecutive
-/// rows sharing both are aggregated into one message.
-fn a10_scatter_plan(
-    store: &BlockStore,
+/// One step-4 transfer: `nrows` consecutive live rows (positions
+/// `pos0..pos0 + nrows` of `rows10`, `v` pivot-column elements each) moving
+/// from their layer-0 block owner `src` to their 1D holder `dst`.
+pub(crate) struct A10Scatter {
+    pub src: usize,
+    pub dst: usize,
+    pub pos0: usize,
+    pub nrows: usize,
+}
+
+/// Step 4 plan: move each live row's `v` pivot-column elements from its
+/// block owner to its 1D holder. Consecutive rows sharing both are
+/// aggregated into one message. Positions are carried so the threaded
+/// backend can address the actual row data; the orchestrated accountant
+/// only needs `nrows * v` elements per entry.
+pub(crate) fn a10_scatter_plan(
     rows10: &[usize],
     bct: usize,
     p: usize,
     v: usize,
-) -> Vec<(usize, usize, u64)> {
-    let mut plan = Vec::new();
+    q: usize,
+    topo: &Grid3D,
+) -> Vec<A10Scatter> {
+    let mut plan: Vec<A10Scatter> = Vec::new();
     let n10 = rows10.len();
-    if n10 == 0 {
-        return plan;
-    }
-    let mut run: Option<(usize, usize, usize)> = None; // (src, dst, rows)
     for (pos, &r) in rows10.iter().enumerate() {
-        let src = store.owner(r / v, bct, 0);
+        let src = topo.rank_of((r / v) % q, bct % q, 0);
         let dst = holder_1d(pos, n10, p);
-        match run {
-            Some((s, d, len)) if s == src && d == dst => run = Some((s, d, len + 1)),
-            Some((s, d, len)) => {
-                plan.push((s, d, (len * v) as u64));
-                run = Some((src, dst, 1));
-                let _ = (s, d, len);
-            }
-            None => run = Some((src, dst, 1)),
+        match plan.last_mut() {
+            Some(e) if e.src == src && e.dst == dst => e.nrows += 1,
+            _ => plan.push(A10Scatter {
+                src,
+                dst,
+                pos0: pos,
+                nrows: 1,
+            }),
         }
-    }
-    if let Some((s, d, len)) = run {
-        plan.push((s, d, (len * v) as u64));
     }
     plan
 }
 
+/// One step-6 transfer: the pivot rows of `piv_groups[group_idx]` restricted
+/// to columns `col0..col0 + seg` of trailing block column `bc`, moving from
+/// layer-0 owner `src` to 1D column holder `dst`.
+pub(crate) struct A01Scatter {
+    pub src: usize,
+    pub dst: usize,
+    pub bc: usize,
+    pub col0: usize,
+    pub seg: usize,
+    pub group_idx: usize,
+    pub nrows: usize,
+}
+
 /// Step 6 plan: move the pivot rows' trailing columns from their block
 /// owners to the 1D column holders.
-fn a01_scatter_plan(
-    store: &BlockStore,
+#[allow(clippy::too_many_arguments)] // mirrors the step's full parameter set
+pub(crate) fn a01_scatter_plan(
     piv_groups: &[(usize, Vec<usize>)],
     t: usize,
     nb: usize,
     p: usize,
     v: usize,
     m01: usize,
-) -> Vec<(usize, usize, u64)> {
+    topo: &Grid3D,
+    q: usize,
+) -> Vec<A01Scatter> {
     let mut plan = Vec::new();
     for bc in t + 1..nb {
         // columns of this block occupy 1D positions pos0..pos0+v
@@ -400,9 +588,17 @@ fn a01_scatter_plan(
             let chunk = m01.div_ceil(p);
             let seg_end = ((dst + 1) * chunk).min(pos0 + v);
             let seg = seg_end - pos;
-            for (br, rows) in piv_groups {
-                let src = store.owner(*br, bc, 0);
-                plan.push((src, dst, (rows.len() * seg) as u64));
+            for (group_idx, (br, rows)) in piv_groups.iter().enumerate() {
+                let src = topo.rank_of(*br % q, bc % q, 0);
+                plan.push(A01Scatter {
+                    src,
+                    dst,
+                    bc,
+                    col0: pos - pos0,
+                    seg,
+                    group_idx,
+                    nrows: rows.len(),
+                });
             }
             pos = seg_end;
         }
@@ -410,40 +606,56 @@ fn a01_scatter_plan(
     plan
 }
 
-/// Step 8 segments: `(src_holder, block_row, row_count)` runs of factored
-/// `A10` rows to replicate across the update layer's grid columns.
-fn a10_send_segments(rows10: &[usize], p: usize, v: usize) -> Vec<(usize, usize, usize)> {
+/// One step-8 segment: `len` consecutive factored `A10` rows (positions
+/// `pos0..pos0 + len` of `rows10`, all in block row `br`) held by 1D holder
+/// `src`, to replicate across the update layer's grid columns.
+pub(crate) struct A10Seg {
+    pub src: usize,
+    pub br: usize,
+    pub pos0: usize,
+    pub len: usize,
+}
+
+/// Step 8 segments: runs of factored `A10` rows to replicate across the
+/// update layer's grid columns.
+pub(crate) fn a10_send_segments(rows10: &[usize], p: usize, v: usize) -> Vec<A10Seg> {
     let n10 = rows10.len();
-    let mut segs = Vec::new();
-    if n10 == 0 {
-        return segs;
-    }
-    let mut run: Option<(usize, usize, usize)> = None; // (src, br, rows)
+    let mut segs: Vec<A10Seg> = Vec::new();
     for (pos, &r) in rows10.iter().enumerate() {
         let src = holder_1d(pos, n10, p);
         let br = r / v;
-        match run {
-            Some((s, b, len)) if s == src && b == br => run = Some((s, b, len + 1)),
-            Some(done) => {
-                segs.push(done);
-                run = Some((src, br, 1));
-            }
-            None => run = Some((src, br, 1)),
+        match segs.last_mut() {
+            Some(e) if e.src == src && e.br == br => e.len += 1,
+            _ => segs.push(A10Seg {
+                src,
+                br,
+                pos0: pos,
+                len: 1,
+            }),
         }
     }
-    segs.extend(run);
     segs
 }
 
-/// Step 10 segments: `(src_holder, block_col, col_count)` runs of factored
-/// `A01` columns to replicate across the update layer's grid rows.
-fn a01_send_segments(
+/// One step-10 segment: `seg` consecutive factored `A01` columns
+/// (`col0..col0 + seg` within trailing block column `bc`) held by 1D holder
+/// `src`, to replicate across the update layer's grid rows.
+pub(crate) struct A01Seg {
+    pub src: usize,
+    pub bc: usize,
+    pub col0: usize,
+    pub seg: usize,
+}
+
+/// Step 10 segments: runs of factored `A01` columns to replicate across the
+/// update layer's grid rows.
+pub(crate) fn a01_send_segments(
     t: usize,
     nb: usize,
     p: usize,
     v: usize,
     m01: usize,
-) -> Vec<(usize, usize, usize)> {
+) -> Vec<A01Seg> {
     let mut segs = Vec::new();
     for bc in t + 1..nb {
         let pos0 = (bc - t - 1) * v;
@@ -452,7 +664,12 @@ fn a01_send_segments(
             let src = holder_1d(pos, m01, p);
             let chunk = m01.div_ceil(p);
             let seg_end = ((src + 1) * chunk).min(pos0 + v);
-            segs.push((src, bc, seg_end - pos));
+            segs.push(A01Seg {
+                src,
+                bc,
+                col0: pos - pos0,
+                seg: seg_end - pos,
+            });
             pos = seg_end;
         }
     }

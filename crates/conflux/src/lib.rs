@@ -20,12 +20,14 @@ pub mod grid;
 pub mod model;
 pub mod pivoting;
 pub mod store;
+pub mod threaded;
 pub mod tiles;
 
-pub use algorithm::{factorize, ConfluxConfig, ConfluxRun, LuFactors};
+pub use algorithm::{factorize, try_factorize, ConfluxConfig, ConfluxRun, LuError, LuFactors};
 pub use grid::{choose_grid, LuGrid};
 pub use model::{conflux_volume_per_rank, conflux_volume_total};
 pub use pivoting::{PivotChoice, PivotStrategy};
+pub use threaded::{factorize_threaded, try_factorize_threaded};
 pub use tiles::{Mode, Tile};
 
 pub mod cholesky;

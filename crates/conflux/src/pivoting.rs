@@ -37,6 +37,24 @@ pub enum PivotStrategy {
     Swapping,
 }
 
+/// Seeded pseudo-random pivot choice for step `step`: every rank (and both
+/// backends) computes the identical list from `(seed, step)` alone, which is
+/// what makes Synthetic runs reproducible and lets the threaded driver pick
+/// winners without communicating.
+pub(crate) fn synthetic_winners(
+    remaining: &[usize],
+    v: usize,
+    seed: u64,
+    step: usize,
+) -> Vec<usize> {
+    let v_eff = v.min(remaining.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ (step as u64).wrapping_mul(0x9e3779b9));
+    let mut rows = remaining.to_vec();
+    rows.shuffle(&mut rng);
+    rows.truncate(v_eff);
+    rows
+}
+
 /// Result of one pivoting round.
 pub struct PivotRound {
     /// The `v` chosen global row indices, in elimination order.
@@ -70,10 +88,7 @@ pub fn select_pivots(
             panic!("tournament pivoting needs data; use PivotChoice::Synthetic in Phantom mode")
         }
         (_, PivotChoice::Synthetic) => {
-            let mut rng = StdRng::seed_from_u64(seed ^ (step as u64).wrapping_mul(0x9e3779b9));
-            let mut rows = remaining.to_vec();
-            rows.shuffle(&mut rng);
-            rows.truncate(v_eff);
+            let rows = synthetic_winners(remaining, v, seed, step);
             let a00 = match (mode, panel) {
                 (Mode::Dense, Some(p)) => {
                     let idx: Vec<usize> = rows

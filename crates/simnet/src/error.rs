@@ -1,0 +1,172 @@
+//! Structured errors for the simulated machine.
+//!
+//! The seed simulator was a fair-weather machine: misuse panicked deep
+//! inside the library and a missing message blocked a receiver forever.
+//! Every failure mode of both backends is now a [`SimnetError`], so
+//! supervised SPMD runs (see [`crate::threaded::run_spmd_supervised`]) can
+//! report *which* rank failed, *why*, and what communication had been
+//! charged up to that point — instead of poisoning or deadlocking the test
+//! process.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::stats::Rank;
+
+/// Everything that can go wrong on the simulated machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimnetError {
+    /// A collective was asked to use a root that is not a group member.
+    NotInGroup {
+        /// The offending rank (the root or the caller).
+        rank: Rank,
+        /// Which collective rejected it.
+        op: &'static str,
+    },
+    /// A point-to-point operation addressed a rank outside `0..p`.
+    RankOutOfRange {
+        /// The out-of-range rank.
+        rank: Rank,
+        /// Number of ranks in the region.
+        p: usize,
+    },
+    /// A receive did not complete within its timeout.
+    Timeout {
+        /// The waiting rank.
+        rank: Rank,
+        /// The sender it was waiting for.
+        src: Rank,
+        /// The message tag it was waiting for.
+        tag: u64,
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// A rank exceeded the supervision deadline for the whole SPMD region.
+    DeadlineExceeded {
+        /// The rank that ran out of budget.
+        rank: Rank,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// A rank was crashed by the fault plan.
+    RankCrashed {
+        /// The crashed rank.
+        rank: Rank,
+        /// The fail-point (algorithm step) at which it died.
+        step: usize,
+    },
+    /// A rank's closure panicked (converted from the unwind payload).
+    RankPanicked {
+        /// The panicking rank.
+        rank: Rank,
+        /// The panic message, if it was a string.
+        message: String,
+    },
+    /// A peer's channel endpoint disappeared mid-operation (the peer
+    /// crashed or panicked while this rank was talking to it).
+    Disconnected {
+        /// The rank that observed the disconnect.
+        rank: Rank,
+        /// The peer whose endpoint vanished.
+        peer: Rank,
+    },
+    /// A message was abandoned after exhausting its retry budget.
+    RetriesExhausted {
+        /// The sending rank.
+        rank: Rank,
+        /// The destination of the undeliverable message.
+        dst: Rank,
+        /// Retries attempted before giving up.
+        retries: u32,
+    },
+}
+
+impl SimnetError {
+    /// The rank this error is attributed to.
+    pub fn rank(&self) -> Rank {
+        match self {
+            SimnetError::NotInGroup { rank, .. }
+            | SimnetError::RankOutOfRange { rank, .. }
+            | SimnetError::Timeout { rank, .. }
+            | SimnetError::DeadlineExceeded { rank, .. }
+            | SimnetError::RankCrashed { rank, .. }
+            | SimnetError::RankPanicked { rank, .. }
+            | SimnetError::Disconnected { rank, .. }
+            | SimnetError::RetriesExhausted { rank, .. } => *rank,
+        }
+    }
+
+    /// True for errors injected by a fault plan (crashes), as opposed to
+    /// secondary effects (timeouts, disconnects) or misuse.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, SimnetError::RankCrashed { .. })
+    }
+}
+
+impl fmt::Display for SimnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimnetError::NotInGroup { rank, op } => {
+                write!(f, "rank {rank} is not a member of the {op} group")
+            }
+            SimnetError::RankOutOfRange { rank, p } => {
+                write!(f, "rank {rank} is out of range for {p} ranks")
+            }
+            SimnetError::Timeout {
+                rank,
+                src,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "rank {rank} timed out after {waited:?} waiting for tag {tag} from rank {src}"
+            ),
+            SimnetError::DeadlineExceeded { rank, deadline } => {
+                write!(f, "rank {rank} exceeded the {deadline:?} region deadline")
+            }
+            SimnetError::RankCrashed { rank, step } => {
+                write!(f, "rank {rank} crashed at fail-point {step} (fault plan)")
+            }
+            SimnetError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimnetError::Disconnected { rank, peer } => {
+                write!(f, "rank {rank} lost its channel to rank {peer}")
+            }
+            SimnetError::RetriesExhausted { rank, dst, retries } => write!(
+                f,
+                "rank {rank} abandoned a message to rank {dst} after {retries} retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimnetError {}
+
+/// Result alias for fallible simulator APIs.
+pub type SimnetResult<T> = Result<T, SimnetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_rank() {
+        let e = SimnetError::RankCrashed { rank: 3, step: 7 };
+        assert!(e.to_string().contains("rank 3"));
+        assert_eq!(e.rank(), 3);
+        assert!(e.is_injected());
+    }
+
+    #[test]
+    fn secondary_errors_are_not_injected() {
+        let e = SimnetError::Timeout {
+            rank: 1,
+            src: 0,
+            tag: 9,
+            waited: Duration::from_millis(5),
+        };
+        assert!(!e.is_injected());
+        assert_eq!(e.rank(), 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! A [`FaultPlan`] decides — purely from a `u64` seed and the identity of a
+//! message — whether that message is dropped, delayed, duplicated, or
+//! reordered, and whether a rank crashes at a given fail-point. No
+//! wall-clock randomness is involved anywhere: the decision for message
+//! `seq` from `src` to `dst` is a hash of `(seed, kind, src, dst, seq)`,
+//! and sequence numbers are assigned by the *sender* in program order, so
+//! two runs with the same seed see byte-identical fault schedules no
+//! matter how the OS interleaves the rank threads.
+//!
+//! The threaded backend ([`crate::threaded`]) consults the plan on every
+//! send/receive; the orchestrated [`crate::network::Network`] consults it
+//! when charging point-to-point traffic, so retransmission volumes can be
+//! accounted without ever spawning a thread.
+
+use std::time::Duration;
+
+use crate::stats::Rank;
+
+/// Upper bound on consecutive drops the plan will schedule for one
+/// logical message. Keeps `drops_for` total and bounds worst-case retry
+/// storms even with absurd drop rates.
+const MAX_SCHEDULED_DROPS: u32 = 16;
+
+// Per-kind salts so the drop/dup/delay/reorder streams are independent.
+const SALT_DROP: u64 = 0xD0D0_0001;
+const SALT_DUP: u64 = 0xD0D0_0002;
+const SALT_DELAY: u64 = 0xD0D0_0003;
+const SALT_REORDER: u64 = 0xD0D0_0004;
+
+/// Stateless 64-bit mixer (splitmix64 finalizer over a combined key).
+fn mix(seed: u64, salt: u64, src: Rank, dst: Rank, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt)
+        .wrapping_add((src as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((dst as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(seq.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A rank death scheduled by the plan: `rank` dies the first time it
+/// reaches a fail-point with `step >= at_step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The rank to kill.
+    pub rank: Rank,
+    /// The fail-point index at which it dies.
+    pub at_step: usize,
+}
+
+/// Retry behaviour for dropped messages: idempotent retransmit with
+/// capped exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions attempted after the first send before the message
+    /// is abandoned.
+    pub max_retries: u32,
+    /// Backoff slept before the first retransmission; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the per-retry backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 20,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): doubling from
+    /// [`base_backoff`](RetryPolicy::base_backoff), capped at
+    /// [`max_backoff`](RetryPolicy::max_backoff).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// One injected fault, recorded for replay verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Send attempt `attempt` (0-based) of message `seq` was dropped.
+    Dropped {
+        /// Sender.
+        src: Rank,
+        /// Destination.
+        dst: Rank,
+        /// Sender-assigned sequence number.
+        seq: u64,
+        /// Which attempt was lost.
+        attempt: u32,
+    },
+    /// Message `seq` was transmitted twice.
+    Duplicated {
+        /// Sender.
+        src: Rank,
+        /// Destination.
+        dst: Rank,
+        /// Sender-assigned sequence number.
+        seq: u64,
+    },
+    /// Message `seq` was held back by `by` before transmission.
+    Delayed {
+        /// Sender.
+        src: Rank,
+        /// Destination.
+        dst: Rank,
+        /// Sender-assigned sequence number.
+        seq: u64,
+        /// Injected latency.
+        by: Duration,
+    },
+    /// Message `seq` was stashed once at the receiver and delivered late.
+    Reordered {
+        /// Sender.
+        src: Rank,
+        /// Destination.
+        dst: Rank,
+        /// Sender-assigned sequence number.
+        seq: u64,
+    },
+    /// A rank died at a fail-point.
+    Crashed {
+        /// The dead rank.
+        rank: Rank,
+        /// The fail-point index.
+        step: usize,
+    },
+}
+
+/// A seeded, reproducible schedule of network faults and rank crashes.
+///
+/// The zero plan ([`FaultPlan::none`]) injects nothing and is the default
+/// everywhere; backends behave (and charge volumes) exactly as the seed
+/// simulator did under it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_rate: f64,
+    duplicate_rate: f64,
+    delay_rate: f64,
+    delay_by: Duration,
+    reorder_rate: f64,
+    crashes: Vec<CrashEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults at all.
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A fault-free plan carrying `seed`; chain `with_*` builders to arm it.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            delay_by: Duration::ZERO,
+            reorder_rate: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Drop each transmission attempt independently with probability `rate`.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Transmit each message twice with probability `rate`.
+    pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sleep `by` before transmitting, with probability `rate` per message.
+    pub fn with_delay(mut self, rate: f64, by: Duration) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay_by = by;
+        self
+    }
+
+    /// Stash a message once at the receiver (delivering it after the next
+    /// arrival) with probability `rate`.
+    pub fn with_reorder_rate(mut self, rate: f64) -> Self {
+        self.reorder_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Kill `rank` the first time it reaches a fail-point `>= at_step`.
+    pub fn with_crash(mut self, rank: Rank, at_step: usize) -> Self {
+        self.crashes.push(CrashEvent { rank, at_step });
+        self
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan can inject nothing (no rates armed, no crashes).
+    pub fn is_zero(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.reorder_rate == 0.0
+            && self.crashes.is_empty()
+    }
+
+    /// The crash events in this plan.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.crashes
+    }
+
+    /// How many leading transmission attempts of message `(src, dst, seq)`
+    /// are lost. Each attempt is an independent seeded draw, so the count
+    /// is geometrically distributed, truncated at `MAX_SCHEDULED_DROPS`.
+    pub fn drops_for(&self, src: Rank, dst: Rank, seq: u64) -> u32 {
+        if self.drop_rate == 0.0 || src == dst {
+            return 0;
+        }
+        let mut k = 0;
+        while k < MAX_SCHEDULED_DROPS
+            && unit(mix(
+                self.seed,
+                SALT_DROP.wrapping_add(k as u64),
+                src,
+                dst,
+                seq,
+            )) < self.drop_rate
+        {
+            k += 1;
+        }
+        k
+    }
+
+    /// True if message `(src, dst, seq)` is transmitted twice.
+    pub fn duplicates(&self, src: Rank, dst: Rank, seq: u64) -> bool {
+        src != dst
+            && self.duplicate_rate > 0.0
+            && unit(mix(self.seed, SALT_DUP, src, dst, seq)) < self.duplicate_rate
+    }
+
+    /// Injected latency for message `(src, dst, seq)`, if any.
+    pub fn delay_for(&self, src: Rank, dst: Rank, seq: u64) -> Option<Duration> {
+        if src != dst
+            && self.delay_rate > 0.0
+            && unit(mix(self.seed, SALT_DELAY, src, dst, seq)) < self.delay_rate
+        {
+            Some(self.delay_by)
+        } else {
+            None
+        }
+    }
+
+    /// True if the receiver should stash message `(src, dst, seq)` once
+    /// before delivering it.
+    pub fn reorders(&self, src: Rank, dst: Rank, seq: u64) -> bool {
+        src != dst
+            && self.reorder_rate > 0.0
+            && unit(mix(self.seed, SALT_REORDER, src, dst, seq)) < self.reorder_rate
+    }
+
+    /// True if `rank` must die at fail-point `step`.
+    pub fn should_crash(&self, rank: Rank, step: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.rank == rank && step >= c.at_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_zero());
+        for seq in 0..100 {
+            assert_eq!(plan.drops_for(0, 1, seq), 0);
+            assert!(!plan.duplicates(0, 1, seq));
+            assert!(plan.delay_for(0, 1, seq).is_none());
+            assert!(!plan.reorders(0, 1, seq));
+        }
+        assert!(!plan.should_crash(0, 1000));
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let a = FaultPlan::new(42)
+            .with_drop_rate(0.3)
+            .with_duplicate_rate(0.2);
+        let b = FaultPlan::new(42)
+            .with_drop_rate(0.3)
+            .with_duplicate_rate(0.2);
+        for src in 0..4 {
+            for dst in 0..4 {
+                for seq in 0..64 {
+                    assert_eq!(a.drops_for(src, dst, seq), b.drops_for(src, dst, seq));
+                    assert_eq!(a.duplicates(src, dst, seq), b.duplicates(src, dst, seq));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).with_drop_rate(0.5);
+        let b = FaultPlan::new(2).with_drop_rate(0.5);
+        let diverge = (0..256).any(|seq| a.drops_for(0, 1, seq) != b.drops_for(0, 1, seq));
+        assert!(diverge, "seeds 1 and 2 produced identical drop schedules");
+    }
+
+    #[test]
+    fn drop_rate_roughly_respected() {
+        let plan = FaultPlan::new(7).with_drop_rate(0.25);
+        let dropped = (0..4000)
+            .filter(|&seq| plan.drops_for(0, 1, seq) > 0)
+            .count();
+        // 4000 draws at p=0.25: expect ~1000, allow wide slack.
+        assert!((700..1300).contains(&dropped), "dropped {dropped}/4000");
+    }
+
+    #[test]
+    fn self_sends_never_faulted() {
+        let plan = FaultPlan::new(9)
+            .with_drop_rate(1.0)
+            .with_duplicate_rate(1.0)
+            .with_reorder_rate(1.0)
+            .with_delay(1.0, Duration::from_millis(1));
+        assert_eq!(plan.drops_for(2, 2, 0), 0);
+        assert!(!plan.duplicates(2, 2, 0));
+        assert!(plan.delay_for(2, 2, 0).is_none());
+        assert!(!plan.reorders(2, 2, 0));
+    }
+
+    #[test]
+    fn drops_are_bounded_even_at_rate_one() {
+        let plan = FaultPlan::new(3).with_drop_rate(1.0);
+        assert_eq!(plan.drops_for(0, 1, 5), MAX_SCHEDULED_DROPS);
+    }
+
+    #[test]
+    fn crash_fires_at_and_after_step() {
+        let plan = FaultPlan::new(0).with_crash(2, 5);
+        assert!(!plan.should_crash(2, 4));
+        assert!(plan.should_crash(2, 5));
+        assert!(plan.should_crash(2, 9));
+        assert!(!plan.should_crash(1, 9));
+        assert_eq!(
+            plan.crashes(),
+            &[CrashEvent {
+                rank: 2,
+                at_step: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(500),
+        };
+        assert_eq!(p.backoff(1), Duration::from_micros(100));
+        assert_eq!(p.backoff(2), Duration::from_micros(200));
+        assert_eq!(p.backoff(3), Duration::from_micros(400));
+        assert_eq!(p.backoff(4), Duration::from_micros(500));
+        assert_eq!(p.backoff(30), Duration::from_micros(500));
+    }
+}

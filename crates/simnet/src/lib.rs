@@ -9,22 +9,31 @@
 //! * [`collectives`] — per-participant volume formulas of the standard
 //!   collective algorithms (binomial trees, recursive doubling, butterfly),
 //! * [`network`] — the orchestrated accountant used by the fast simulators,
-//! * [`threaded`] — a real-threads backend (crossbeam channels) where the
-//!   same algorithms run as genuine SPMD programs.
+//! * [`threaded`] — a real-threads backend (std mpsc channels) where the
+//!   same algorithms run as genuine SPMD programs,
+//! * [`faults`] — seeded, reproducible fault plans (drop / delay /
+//!   duplicate / reorder / rank crash) consulted by both backends,
+//! * [`error`] — structured [`SimnetError`]s replacing library panics and
+//!   unbounded hangs.
 //!
-//! Both backends count identically, which the `conflux` crate tests.
+//! Both backends count identically under a zero fault plan, which the
+//! `conflux` crate and the cross-backend tests check.
 
 #![warn(missing_docs)]
 
 pub mod collectives;
 pub mod cost;
+pub mod error;
+pub mod faults;
 pub mod network;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
 
 pub use cost::AlphaBeta;
+pub use error::{SimnetError, SimnetResult};
+pub use faults::{CrashEvent, FaultEvent, FaultPlan, RetryPolicy};
 pub use network::{BcastAlgo, Network};
 pub use stats::{CommStats, Rank, ELEMENT_BYTES};
-pub use threaded::{run_spmd, RankCtx};
+pub use threaded::{run_spmd, run_spmd_supervised, RankCtx, SpmdFailure, SpmdReport, Supervisor};
 pub use topology::{icbrt, isqrt, squarest_2d, Coord3D, Grid3D};

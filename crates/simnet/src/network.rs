@@ -7,7 +7,11 @@
 //! instruments real MPI implementations with Score-P: the algorithm's
 //! communication pattern is what is measured, independent of wall-clock.
 
+use std::collections::HashMap;
+
 use crate::collectives::{self, Volumes};
+use crate::error::{SimnetError, SimnetResult};
+use crate::faults::FaultPlan;
 use crate::stats::{CommStats, Rank};
 
 /// Which broadcast algorithm to charge (ablation knob; the paper's
@@ -57,6 +61,15 @@ pub struct Network {
     pub bcast_algo: BcastAlgo,
     /// Event trace (`None` = disabled; enable with [`Network::with_trace`]).
     pub trace: Option<Vec<TraceEvent>>,
+    /// Fault schedule consulted when charging point-to-point traffic: a
+    /// dropped transmission is charged to the sender again (the retransmit)
+    /// and a duplicated one to both sides, exactly as the threaded backend
+    /// does on real channels. The zero plan changes nothing.
+    pub faults: FaultPlan,
+    /// Sequence counters per (src, dst) pair, mirroring the sender-side
+    /// numbering of the threaded backend so both backends query the plan
+    /// with the same keys.
+    p2p_seqs: HashMap<(Rank, Rank), u64>,
 }
 
 impl Network {
@@ -66,6 +79,8 @@ impl Network {
             stats: CommStats::new(p),
             bcast_algo: BcastAlgo::Binomial,
             trace: None,
+            faults: FaultPlan::none(),
+            p2p_seqs: HashMap::new(),
         }
     }
 
@@ -73,6 +88,14 @@ impl Network {
     pub fn with_trace(p: usize) -> Self {
         let mut net = Self::new(p);
         net.trace = Some(Vec::new());
+        net
+    }
+
+    /// A network that charges retransmission/duplication overheads for
+    /// point-to-point traffic according to `faults`.
+    pub fn with_faults(p: usize, faults: FaultPlan) -> Self {
+        let mut net = Self::new(p);
+        net.faults = faults;
         net
     }
 
@@ -103,6 +126,22 @@ impl Network {
     /// Point-to-point message of `elems` elements.
     pub fn send(&mut self, src: Rank, dst: Rank, elems: u64, phase: &'static str) {
         self.stats.record(src, dst, elems, phase);
+        if src != dst && elems > 0 && !self.faults.is_zero() {
+            let seq = self.p2p_seqs.entry((src, dst)).or_insert(0);
+            let n = *seq;
+            *seq += 1;
+            // each lost attempt is retransmitted: sender pays again
+            let drops = self.faults.drops_for(src, dst, n) as u64;
+            if drops > 0 {
+                self.stats.charge(src, drops * elems, 0, drops, phase);
+            }
+            // a duplicated message crosses the wire twice, then the
+            // receiver deduplicates — both sides pay for the extra copy
+            if self.faults.duplicates(src, dst, n) {
+                self.stats.charge(src, elems, 0, 1, phase);
+                self.stats.charge(dst, 0, elems, 0, phase);
+            }
+        }
         if let Some(t) = self.trace.as_mut() {
             if src != dst && elems > 0 {
                 t.push(TraceEvent::P2p {
@@ -126,7 +165,21 @@ impl Network {
     }
 
     /// Broadcast from an arbitrary member: `root` is rotated to the front of
-    /// the tree.
+    /// the tree. Returns [`SimnetError::NotInGroup`] if `root` is not a
+    /// member.
+    pub fn try_broadcast_from(
+        &mut self,
+        root: Rank,
+        group: &[Rank],
+        elems: u64,
+        phase: &'static str,
+    ) -> SimnetResult<()> {
+        let rotated = try_rotate_to_front(group, root, "broadcast")?;
+        self.broadcast(&rotated, elems, phase);
+        Ok(())
+    }
+
+    /// Panicking form of [`Network::try_broadcast_from`].
     pub fn broadcast_from(&mut self, root: Rank, group: &[Rank], elems: u64, phase: &'static str) {
         let rotated = rotate_to_front(group, root);
         self.broadcast(&rotated, elems, phase);
@@ -139,7 +192,21 @@ impl Network {
         self.charge_group(group, &v, elems, phase);
     }
 
-    /// Reduce onto an arbitrary member.
+    /// Reduce onto an arbitrary member. Returns [`SimnetError::NotInGroup`]
+    /// if `root` is not a member.
+    pub fn try_reduce_onto(
+        &mut self,
+        root: Rank,
+        group: &[Rank],
+        elems: u64,
+        phase: &'static str,
+    ) -> SimnetResult<()> {
+        let rotated = try_rotate_to_front(group, root, "reduce")?;
+        self.reduce(&rotated, elems, phase);
+        Ok(())
+    }
+
+    /// Panicking form of [`Network::try_reduce_onto`].
     pub fn reduce_onto(&mut self, root: Rank, group: &[Rank], elems: u64, phase: &'static str) {
         let rotated = rotate_to_front(group, root);
         self.reduce(&rotated, elems, phase);
@@ -201,15 +268,19 @@ impl Network {
     }
 }
 
-fn rotate_to_front(group: &[Rank], root: Rank) -> Vec<Rank> {
+fn try_rotate_to_front(group: &[Rank], root: Rank, op: &'static str) -> SimnetResult<Vec<Rank>> {
     let pos = group
         .iter()
         .position(|&r| r == root)
-        .expect("root must be a member of the group");
+        .ok_or(SimnetError::NotInGroup { rank: root, op })?;
     let mut rotated = Vec::with_capacity(group.len());
     rotated.extend_from_slice(&group[pos..]);
     rotated.extend_from_slice(&group[..pos]);
-    rotated
+    Ok(rotated)
+}
+
+fn rotate_to_front(group: &[Rank], root: Rank) -> Vec<Rank> {
+    try_rotate_to_front(group, root, "collective").expect("root must be a member of the group")
 }
 
 #[cfg(test)]
@@ -286,5 +357,78 @@ mod tests {
     fn broadcast_from_nonmember_panics() {
         let mut net = Network::new(4);
         net.broadcast_from(9, &[0, 1], 1, "x");
+    }
+
+    #[test]
+    fn try_broadcast_from_nonmember_is_typed() {
+        let mut net = Network::new(4);
+        let err = net.try_broadcast_from(9, &[0, 1], 1, "x").unwrap_err();
+        assert_eq!(
+            err,
+            SimnetError::NotInGroup {
+                rank: 9,
+                op: "broadcast"
+            }
+        );
+        // nothing was charged for the rejected call
+        assert_eq!(net.stats.total_sent(), 0);
+        assert!(net.try_broadcast_from(1, &[0, 1], 1, "x").is_ok());
+    }
+
+    #[test]
+    fn try_reduce_onto_nonmember_is_typed() {
+        let mut net = Network::new(4);
+        let err = net.try_reduce_onto(7, &[0, 1, 2], 5, "r").unwrap_err();
+        assert_eq!(
+            err,
+            SimnetError::NotInGroup {
+                rank: 7,
+                op: "reduce"
+            }
+        );
+        assert!(net.try_reduce_onto(2, &[0, 1, 2], 5, "r").is_ok());
+    }
+
+    #[test]
+    fn zero_fault_plan_charges_like_seed() {
+        let mut plain = Network::new(4);
+        let mut faulty = Network::with_faults(4, FaultPlan::none());
+        for net in [&mut plain, &mut faulty] {
+            net.send(0, 1, 10, "p");
+            net.send(1, 2, 5, "p");
+            net.broadcast(&[0, 1, 2, 3], 8, "b");
+        }
+        assert_eq!(plain.stats.phase_table(), faulty.stats.phase_table());
+        assert_eq!(plain.stats.total_messages(), faulty.stats.total_messages());
+    }
+
+    #[test]
+    fn drop_plan_charges_deterministic_retransmissions() {
+        let plan = FaultPlan::new(21).with_drop_rate(0.5);
+        let run = |plan: FaultPlan| {
+            let mut net = Network::with_faults(2, plan);
+            for _ in 0..32 {
+                net.send(0, 1, 3, "p");
+            }
+            (net.stats.sent_by(0), net.stats.received_by(1))
+        };
+        let (sent_a, recv_a) = run(plan.clone());
+        let (sent_b, recv_b) = run(plan.clone());
+        assert_eq!((sent_a, recv_a), (sent_b, recv_b));
+        // retransmissions inflate the sender, deliveries stay at 32
+        let expected_drops: u64 = (0..32).map(|s| plan.drops_for(0, 1, s) as u64).sum();
+        assert!(expected_drops > 0, "seed 21 should drop something");
+        assert_eq!(sent_a, 3 * (32 + expected_drops));
+        assert_eq!(recv_a, 3 * 32);
+    }
+
+    #[test]
+    fn duplicate_plan_charges_both_sides() {
+        let plan = FaultPlan::new(4).with_duplicate_rate(1.0);
+        let mut net = Network::with_faults(2, plan);
+        net.send(0, 1, 5, "p");
+        assert_eq!(net.stats.sent_by(0), 10);
+        assert_eq!(net.stats.received_by(1), 10);
+        assert_eq!(net.stats.total_messages(), 2);
     }
 }

@@ -1,0 +1,160 @@
+//! Fault-injection acceptance tests: the threaded backend under a seeded
+//! [`FaultPlan`] must (1) charge exactly the orchestrated accountant's
+//! volumes when the plan is empty, (2) replay byte-identically from the
+//! same seed, (3) deliver correct data through drop/duplicate/reorder
+//! schedules, and (4) convert rank crashes into structured errors within
+//! the supervisor's deadline instead of hanging.
+
+use std::time::{Duration, Instant};
+
+use simnet::threaded::{run_spmd_supervised, Supervisor};
+use simnet::{FaultPlan, Network, SimnetError};
+
+/// The composed pattern both backends run for the equivalence tests:
+/// a broadcast over everyone, a reduction onto rank 0, and (p = 4) a
+/// butterfly over a power-of-two subgroup.
+const ELEMS: usize = 24;
+
+#[test]
+fn zero_fault_plan_charges_exactly_the_orchestrated_volumes() {
+    for p in [2, 3, 4, 7, 8] {
+        let group: Vec<usize> = (0..p).collect();
+
+        let mut net = Network::new(p);
+        net.broadcast_from(1 % p, &group, ELEMS as u64, "bc");
+        net.reduce_onto(0, &group, ELEMS as u64, "rd");
+
+        let report = run_spmd_supervised(p, Supervisor::default(), |ctx| {
+            let data = (ctx.rank == 1 % p).then(|| vec![2.5; ELEMS]);
+            ctx.try_broadcast(&group, 1 % p, data, 10, "bc")?;
+            ctx.try_reduce_sum(&group, 0, vec![1.0; ELEMS], 11, "rd")?;
+            Ok(())
+        });
+        let (_, stats) = report.into_result().expect("fault-free run completes");
+
+        for r in 0..p {
+            assert_eq!(
+                stats.sent_by(r),
+                net.stats.sent_by(r),
+                "p={p} rank {r} sent"
+            );
+            assert_eq!(
+                stats.received_by(r),
+                net.stats.received_by(r),
+                "p={p} rank {r} received"
+            );
+        }
+        assert_eq!(stats.phase_table(), net.stats.phase_table(), "p={p}");
+    }
+}
+
+#[test]
+fn message_faults_preserve_data_and_charge_the_retries() {
+    let p = 4;
+    let group: Vec<usize> = (0..p).collect();
+    let run = |faults: FaultPlan| {
+        let sup = Supervisor::default().with_faults(faults);
+        run_spmd_supervised(p, sup, |ctx| {
+            let data = (ctx.rank == 0).then(|| vec![7.0; ELEMS]);
+            let bc = ctx.try_broadcast(&group, 0, data, 20, "bc")?;
+            let sum = ctx.try_reduce_sum(&group, 0, bc, 21, "rd")?;
+            Ok(sum.map(|s| s[0]))
+        })
+    };
+
+    let clean = run(FaultPlan::none());
+    let noisy = run(FaultPlan::new(0xfa11)
+        .with_drop_rate(0.2)
+        .with_duplicate_rate(0.2)
+        .with_reorder_rate(0.3)
+        .with_delay(0.3, Duration::from_millis(2)));
+
+    // every rank still computes the right answer...
+    let (clean_vals, clean_stats) = clean.into_result().unwrap();
+    assert!(noisy.retries > 0, "a 20% drop rate must force retries");
+    let noisy_stats = noisy.stats.clone();
+    let (noisy_vals, _) = noisy.into_result().unwrap();
+    assert_eq!(clean_vals, noisy_vals);
+    assert_eq!(noisy_vals[0], Some(7.0 * p as f64));
+    // ...but the dropped attempts were real traffic
+    assert!(noisy_stats.total_sent() > clean_stats.total_sent());
+}
+
+#[test]
+fn same_seed_replays_identically_different_seed_diverges() {
+    let p = 4;
+    let group: Vec<usize> = (0..p).collect();
+    let run = |seed: u64| {
+        let sup = Supervisor::default().with_faults(
+            FaultPlan::new(seed)
+                .with_drop_rate(0.25)
+                .with_duplicate_rate(0.25)
+                .with_reorder_rate(0.25),
+        );
+        run_spmd_supervised(p, sup, |ctx| {
+            for round in 0..8u64 {
+                let data = (ctx.rank == 0).then(|| vec![round as f64; 8]);
+                ctx.try_broadcast(&group, 0, data, 30 + round, "bc")?;
+            }
+            Ok(())
+        })
+    };
+
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a.retries, b.retries, "retry count must replay");
+    assert_eq!(a.fault_log, b.fault_log, "fault schedule must replay");
+    assert_eq!(
+        a.stats.phase_table(),
+        b.stats.phase_table(),
+        "charged volumes must replay"
+    );
+
+    let c = run(2);
+    assert_ne!(
+        a.fault_log, c.fault_log,
+        "a different seed should produce a different schedule"
+    );
+}
+
+#[test]
+fn crash_is_structured_and_bounded_by_the_deadline() {
+    let p = 4;
+    let group: Vec<usize> = (0..p).collect();
+    let sup = Supervisor::default()
+        .with_faults(FaultPlan::new(3).with_crash(2, 1))
+        .with_recv_timeout(Duration::from_millis(100))
+        .with_deadline(Duration::from_secs(5));
+
+    let t0 = Instant::now();
+    let report = run_spmd_supervised(p, sup, |ctx| {
+        for step in 0..4u64 {
+            ctx.fail_point(step as usize)?;
+            let data = (ctx.rank == 0).then(|| vec![step as f64; 4]);
+            ctx.try_broadcast(&group, 0, data, 40 + step, "bc")?;
+        }
+        Ok(())
+    });
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "supervised region must not hang: took {elapsed:?}"
+    );
+
+    let failure = report.into_result().expect_err("the crash must surface");
+    let injected: Vec<&SimnetError> = failure.errors.iter().filter(|e| e.is_injected()).collect();
+    assert_eq!(
+        injected,
+        vec![&SimnetError::RankCrashed { rank: 2, step: 1 }]
+    );
+    // step 0 completed before the crash, so its traffic is on the books
+    assert!(failure.stats.sent_in_phase("bc") > 0);
+    // the survivors died of bounded timeouts or observed disconnects —
+    // never an unbounded hang
+    assert!(failure.errors.iter().all(|e| matches!(
+        e,
+        SimnetError::RankCrashed { .. }
+            | SimnetError::Timeout { .. }
+            | SimnetError::Disconnected { .. }
+    )));
+}

@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use simnet::collectives;
+use simnet::threaded::{run_spmd_supervised, Supervisor};
 use simnet::topology::Grid3D;
-use simnet::{run_spmd, Network};
+use simnet::{run_spmd, FaultPlan, Network};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -95,5 +96,56 @@ proptest! {
         for v in vals {
             prop_assert_eq!(v, vec![root as f64 * 3.0]);
         }
+    }
+
+    #[test]
+    fn zero_fault_threaded_volumes_match_orchestrated(
+        p in 1usize..9,
+        elems in 1usize..50,
+        root in 0usize..9,
+    ) {
+        // an empty FaultPlan must be invisible: the threaded backend
+        // charges exactly what the orchestrated accountant charges
+        let root = root % p;
+        let group: Vec<usize> = (0..p).collect();
+
+        let mut net = Network::with_faults(p, FaultPlan::none());
+        net.broadcast_from(root, &group, elems as u64, "bc");
+        net.reduce_onto(root, &group, elems as u64, "rd");
+
+        let sup = Supervisor::default().with_faults(FaultPlan::none());
+        let report = run_spmd_supervised(p, sup, |ctx| {
+            let data = (ctx.rank == root).then(|| vec![1.0; elems]);
+            let bc = ctx.try_broadcast(&group, root, data, 90, "bc")?;
+            ctx.try_reduce_sum(&group, root, bc, 91, "rd")?;
+            Ok(())
+        });
+        prop_assert_eq!(report.retries, 0);
+        prop_assert!(report.fault_log.is_empty());
+        let (_, stats) = report.into_result().unwrap();
+        for r in 0..p {
+            prop_assert_eq!(stats.sent_by(r), net.stats.sent_by(r));
+            prop_assert_eq!(stats.received_by(r), net.stats.received_by(r));
+        }
+    }
+
+    #[test]
+    fn seeded_drop_plans_replay_identically(seed in 0u64..1000) {
+        let p = 3;
+        let group: Vec<usize> = (0..p).collect();
+        let run = |seed: u64| {
+            let sup = Supervisor::default()
+                .with_faults(FaultPlan::new(seed).with_drop_rate(0.3));
+            run_spmd_supervised(p, sup, |ctx| {
+                let data = (ctx.rank == 0).then(|| vec![seed as f64; 6]);
+                ctx.try_broadcast(&group, 0, data, 92, "bc")?;
+                Ok(())
+            })
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.fault_log, b.fault_log);
+        prop_assert_eq!(a.stats.total_sent(), b.stats.total_sent());
     }
 }

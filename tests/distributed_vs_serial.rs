@@ -2,10 +2,16 @@
 //! produce factors of the same quality as the serial reference on the same
 //! matrix, across grid shapes and block sizes.
 
+use std::time::{Duration, Instant};
+
 use conflux_repro::baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
 use conflux_repro::baselines::{factorize_candmc, CandmcConfig};
-use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
+use conflux_repro::conflux::{
+    factorize, factorize_threaded, try_factorize, try_factorize_threaded, ConfluxConfig, LuGrid,
+    PivotChoice,
+};
 use conflux_repro::denselin::{lu_unblocked, Matrix};
+use conflux_repro::simnet::{FaultPlan, SimnetError, Supervisor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,6 +48,139 @@ fn conflux_matches_serial_quality_across_grids() {
             "n={n} q={q} c={c}: residual too large: {res:.2e}"
         );
     }
+}
+
+#[test]
+fn threaded_conflux_matches_serial_quality() {
+    // the real-threads SPMD driver must be numerically as good as the
+    // orchestrated one and the serial reference
+    for (seed, n, v, q, c) in [(600, 32, 4, 2, 1), (601, 64, 8, 2, 2)] {
+        let a = random_matrix(seed, n);
+        let serial_res = lu_unblocked(&a).unwrap().residual(&a);
+        let grid = LuGrid::new(q * q * c, q, c);
+        let run = factorize_threaded(&ConfluxConfig::dense(n, v, grid), &a)
+            .expect("fault-free threaded run completes");
+        let res = run.factors.unwrap().residual(&a);
+        assert!(
+            res < 1e4 * serial_res.max(1e-15) && res < 1e-9,
+            "n={n} q={q} c={c}: threaded residual {res:.2e} vs serial {serial_res:.2e}"
+        );
+    }
+}
+
+#[test]
+fn threaded_zero_fault_volumes_match_orchestrated() {
+    // accounting must not drift: with no faults and identical (synthetic)
+    // pivots, the threaded run charges byte-for-byte what the orchestrated
+    // accountant charges, per rank and per phase
+    let n = 64;
+    let grid = LuGrid::new(8, 2, 2);
+    let mut rng = StdRng::seed_from_u64(610);
+    let a = Matrix::random_diagonally_dominant(&mut rng, n);
+    let mut cfg = ConfluxConfig::dense(n, 8, grid);
+    cfg.pivot_choice = PivotChoice::Synthetic;
+    let threaded = factorize_threaded(&cfg, &a).unwrap();
+    let orchestrated = factorize(&cfg, Some(&a));
+    assert_eq!(threaded.retries, 0);
+    assert_eq!(
+        threaded.stats.phase_table(),
+        orchestrated.stats.phase_table()
+    );
+    for r in 0..8 {
+        assert_eq!(threaded.stats.sent_by(r), orchestrated.stats.sent_by(r));
+        assert_eq!(
+            threaded.stats.received_by(r),
+            orchestrated.stats.received_by(r)
+        );
+    }
+}
+
+#[test]
+fn threaded_conflux_survives_drops_at_n128_p8_reproducibly() {
+    // ISSUE acceptance: seeded message drops (no crashes) still yield a
+    // residual <= 1e-10 at N=128 on 8 ranks, and the same seed replays to
+    // an identical traffic trace and retry count
+    let n = 128;
+    let grid = LuGrid::new(8, 2, 2);
+    let a = random_matrix(620, n);
+    let clean = factorize_threaded(&ConfluxConfig::dense(n, 8, grid), &a).unwrap();
+    let cfg =
+        ConfluxConfig::dense(n, 8, grid).with_faults(FaultPlan::new(0xd20).with_drop_rate(0.02));
+
+    let run1 = try_factorize_threaded(&cfg, &a, Supervisor::default()).unwrap();
+    let res = run1.factors.as_ref().unwrap().residual(&a);
+    assert!(res <= 1e-10, "residual under drops: {res:.2e}");
+
+    let run2 = try_factorize_threaded(&cfg, &a, Supervisor::default()).unwrap();
+    assert_eq!(run1.retries, run2.retries, "retry count must replay");
+    assert!(run1.retries > 0, "a 2% drop rate must force retries");
+    assert_eq!(
+        run1.stats.phase_table(),
+        run2.stats.phase_table(),
+        "per-phase traffic must replay"
+    );
+    assert_eq!(run1.stats.total_sent(), run2.stats.total_sent());
+    assert_eq!(
+        run1.factors.unwrap().perm,
+        run2.factors.unwrap().perm,
+        "pivoting must replay"
+    );
+    // retransmissions are real traffic on top of the clean schedule
+    assert!(run1.stats.total_sent() > clean.stats.total_sent());
+}
+
+#[test]
+fn threaded_conflux_crash_is_bounded_and_structured() {
+    // ISSUE acceptance: a rank-crash plan never hangs — the supervised run
+    // returns the crashed rank id and partial per-phase stats within a 5s
+    // ceiling
+    let n = 64;
+    let grid = LuGrid::new(8, 2, 2);
+    let a = random_matrix(630, n);
+    let cfg = ConfluxConfig::dense(n, 8, grid).with_faults(FaultPlan::new(31).with_crash(3, 2));
+    let sup = Supervisor::default()
+        .with_recv_timeout(Duration::from_millis(200))
+        .with_deadline(Duration::from_secs(5));
+
+    let t0 = Instant::now();
+    let err = match try_factorize_threaded(&cfg, &a, sup) {
+        Err(e) => e,
+        Ok(_) => panic!("the crash plan must fail the run"),
+    };
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "must return within the deadline, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(err.error, SimnetError::RankCrashed { rank: 3, step: 2 });
+    assert_eq!(err.step, Some(2));
+    // the two completed steps' traffic is preserved for triage
+    assert!(err.stats.sent_in_phase("02:tournament") > 0);
+    assert!(err.stats.sent_in_phase("08:send-a10") > 0);
+}
+
+#[test]
+fn orchestrated_trace_replays_identically_under_faults() {
+    // seeded-replay guarantee at the TraceEvent level: same seed, same
+    // fault plan => the exact same event log, twice
+    let n = 64;
+    let grid = LuGrid::new(8, 2, 2);
+    let run = || {
+        let mut cfg = ConfluxConfig::phantom(n, 8, grid).with_faults(
+            FaultPlan::new(41)
+                .with_drop_rate(0.1)
+                .with_duplicate_rate(0.1),
+        );
+        cfg.trace = true;
+        try_factorize(&cfg, None).expect("drops never abort the accountant")
+    };
+    let a = run();
+    let b = run();
+    let ta = a.trace.expect("trace was enabled");
+    let tb = b.trace.expect("trace was enabled");
+    assert!(!ta.is_empty());
+    assert_eq!(ta, tb, "TraceEvent log must replay from the seed");
+    assert_eq!(a.stats.total_sent(), b.stats.total_sent());
 }
 
 #[test]

@@ -53,3 +53,42 @@ fn total_message_count_scales_with_steps_not_columns() {
 fn phase_messages(stats: &conflux_repro::simnet::CommStats, phase: &str) -> u64 {
     stats.messages_in_phase(phase)
 }
+
+#[test]
+fn missing_message_times_out_quickly_instead_of_hanging() {
+    // a regression that loses a message must cost a bounded wait and a
+    // structured error, not a hung test process
+    use conflux_repro::simnet::threaded::{run_spmd_supervised, Supervisor};
+    use conflux_repro::simnet::SimnetError;
+    use std::time::{Duration, Instant};
+
+    let t0 = Instant::now();
+    let report = run_spmd_supervised(2, Supervisor::default(), |ctx| {
+        if ctx.rank == 1 {
+            // rank 0 never sends tag 99
+            let err = ctx
+                .recv_timeout(0, 99, Duration::from_millis(150))
+                .expect_err("nothing was sent");
+            assert!(
+                matches!(
+                    err,
+                    SimnetError::Timeout {
+                        rank: 1,
+                        src: 0,
+                        ..
+                    }
+                ),
+                "unexpected error: {err}"
+            );
+        }
+        Ok(())
+    });
+    report
+        .into_result()
+        .expect("the timeout was handled in-rank");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "bounded wait took {:?}",
+        t0.elapsed()
+    );
+}
