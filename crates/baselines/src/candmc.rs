@@ -188,7 +188,7 @@ pub fn factorize_candmc(cfg: &CandmcConfig, a: Option<&Matrix>) -> CandmcRun {
                 m.set_block(kb, kb + v, &a01);
                 // Schur update
                 let mut a11 = m.block(kb + v, kb + v, trailing, trailing);
-                denselin::gemm::gemm(&mut a11, -1.0, &a10, &a01, 1.0);
+                denselin::gemm::gemm_auto(&mut a11, -1.0, &a10, &a01, 1.0);
                 m.set_block(kb + v, kb + v, &a11);
             }
 

@@ -205,7 +205,7 @@ pub fn factorize_2d(cfg: &Lu2dConfig, a: Option<&Matrix>) -> Lu2dRun {
                 let l10 = m.block(kb + b, kb, trailing_rows, b);
                 let a01 = m.block(kb, kb + b, b, trailing_cols);
                 let mut a11 = m.block(kb + b, kb + b, trailing_rows, trailing_cols);
-                denselin::gemm::gemm(&mut a11, -1.0, &l10, &a01, 1.0);
+                denselin::gemm::gemm_auto(&mut a11, -1.0, &l10, &a01, 1.0);
                 m.set_block(kb + b, kb + b, &a11);
             }
         }

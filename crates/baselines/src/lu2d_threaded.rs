@@ -203,10 +203,11 @@ pub fn factorize_2d_threaded(a: &Matrix, pr: usize, pc: usize, nb: usize) -> Lu2
             let offset = my_trailing.len() - trailing_cols.len();
             for (bi, &li) in below.iter().enumerate() {
                 let lik = lcol_frag[bi];
+                // borrow the local row once and stream along it instead of
+                // re-indexing (li, lj) per element
+                let lrow = local.row_mut(li);
                 for (ci, &c) in trailing_cols.iter().enumerate() {
-                    let u = pivot_row[offset + ci];
-                    let lj = lcol(c);
-                    local[(li, lj)] -= lik * u;
+                    lrow[lcol(c)] -= lik * pivot_row[offset + ci];
                 }
             }
         }

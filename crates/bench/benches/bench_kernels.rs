@@ -2,7 +2,7 @@
 //! pivoting — the building blocks every simulated implementation runs on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use denselin::gemm::{gemm, gemm_parallel};
+use denselin::gemm::{gemm, gemm_parallel, gemm_reference};
 use denselin::lu::{lu_blocked, lu_unblocked};
 use denselin::matrix::Matrix;
 use denselin::tournament::tournament_pivots;
@@ -18,14 +18,21 @@ fn bench_gemm(c: &mut Criterion) {
     for n in [128usize, 256, 512] {
         let a = Matrix::random(&mut rng, n, n);
         let b = Matrix::random(&mut rng, n, n);
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm_reference(&mut out, 1.0, black_box(&a), black_box(&b), 0.0);
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut out = Matrix::zeros(n, n);
                 gemm(&mut out, 1.0, black_box(&a), black_box(&b), 0.0);
                 out
             })
         });
-        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("tile_queue4", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut out = Matrix::zeros(n, n);
                 gemm_parallel(&mut out, 1.0, black_box(&a), black_box(&b), 0.0, 4);

@@ -1,0 +1,206 @@
+//! `perfsmoke` — fast GFLOP/s smoke test of the local compute substrate.
+//!
+//! Measures the packed register-blocked GEMM against the scalar reference
+//! path, the tile-queue parallel GEMM, blocked TRSM, and blocked LU, then
+//! writes `BENCH_kernels.json` at the repo root. This file is the perf
+//! trajectory future PRs are held against (CI uploads it as an artifact and
+//! `--check` turns a packed-slower-than-reference regression into a red
+//! build).
+//!
+//! Usage: `cargo run --release -p conflux-bench --bin perfsmoke -- [--quick]
+//! [--check] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use denselin::gemm::{auto_threads, gemm, gemm_parallel, gemm_reference, GemmBlocking};
+use denselin::lu::lu_blocked;
+use denselin::matrix::Matrix;
+use denselin::trsm::trsm_lower_left;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured kernel configuration.
+struct Entry {
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
+
+    let reps = if quick { 2 } else { 3 };
+    let gemm_sizes: &[usize] = if quick {
+        &[256, 512]
+    } else {
+        &[256, 512, 1024]
+    };
+    let threads = auto_threads();
+    let blk = GemmBlocking::tuned();
+    println!(
+        "# perfsmoke: blocking mc={} kc={} nc={}, {threads} thread(s)",
+        blk.mc, blk.kc, blk.nc
+    );
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ---- GEMM: reference scalar path vs packed vs tile-queue parallel ----
+    for &n in gemm_sizes {
+        let a = Matrix::random(&mut rng, n, n);
+        let b = Matrix::random(&mut rng, n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+
+        let mut c = Matrix::zeros(n, n);
+        let t = best_of(reps, || gemm_reference(&mut c, 1.0, &a, &b, 0.0));
+        push(&mut entries, "gemm_reference", n, 1, t, flops);
+
+        let t = best_of(reps, || gemm(&mut c, 1.0, &a, &b, 0.0));
+        push(&mut entries, "gemm_packed", n, 1, t, flops);
+
+        if threads > 1 {
+            let t = best_of(reps, || gemm_parallel(&mut c, 1.0, &a, &b, 0.0, threads));
+            push(&mut entries, "gemm_parallel", n, threads, t, flops);
+        }
+    }
+
+    // ---- TRSM (blocked forward substitution, packed rank-k updates) ----
+    let trsm_sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
+    for &n in trsm_sizes {
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                0.1
+            } else if i == j {
+                2.0
+            } else {
+                0.0
+            }
+        });
+        let nrhs = 256;
+        let b = Matrix::random(&mut rng, n, nrhs);
+        let flops = (n as f64) * (n as f64) * nrhs as f64;
+        let t = best_of(reps, || {
+            let mut x = b.clone();
+            trsm_lower_left(&l, &mut x, false);
+        });
+        push(&mut entries, "trsm_lower_left", n, 1, t, flops);
+    }
+
+    // ---- Blocked LU (panel + TRSM + packed trailing update) ----
+    let lu_sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
+    for &n in lu_sizes {
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let flops = 2.0 / 3.0 * (n as f64).powi(3);
+        let t = best_of(reps, || {
+            lu_blocked(&a, 64).unwrap();
+        });
+        push(&mut entries, "lu_blocked64", n, threads, t, flops);
+    }
+
+    let speedup_512 = speedup(&entries, "gemm_packed", "gemm_reference", 512);
+    let parallel_scaling = speedup(
+        &entries,
+        "gemm_parallel",
+        "gemm_packed",
+        *gemm_sizes.last().unwrap(),
+    );
+
+    // ---- render BENCH_kernels.json (hand-rolled: no serde in-tree) ----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_kernels/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"blocking\": {{ \"mc\": {}, \"kc\": {}, \"nc\": {} }},",
+        blk.mc, blk.kc, blk.nc
+    );
+    let _ = writeln!(
+        json,
+        "  \"packed_vs_reference_n512\": {},",
+        speedup_512.map_or("null".into(), |s| format!("{s:.3}"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_vs_serial\": {},",
+        parallel_scaling.map_or("null".into(), |s| format!("{s:.3}"))
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.3} }}{comma}",
+            e.kernel, e.n, e.threads, e.seconds, e.gflops
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("# wrote {out_path}");
+
+    if check {
+        match speedup_512 {
+            Some(s) if s >= 1.0 => {
+                println!("# check OK: packed gemm is {s:.2}x the reference at N=512");
+            }
+            Some(s) => {
+                eprintln!("# check FAILED: packed gemm only {s:.2}x the reference at N=512");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("# check FAILED: missing N=512 measurements");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn push(
+    entries: &mut Vec<Entry>,
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    t: f64,
+    flops: f64,
+) {
+    let gflops = flops / t / 1e9;
+    println!("{kernel:>16}  n={n:<5} threads={threads:<2} {t:>9.4} s  {gflops:>8.2} GFLOP/s");
+    entries.push(Entry {
+        kernel,
+        n,
+        threads,
+        seconds: t,
+        gflops,
+    });
+}
+
+/// GFLOP/s ratio `num/den` at size `n`, if both were measured.
+fn speedup(entries: &[Entry], num: &str, den: &str, n: usize) -> Option<f64> {
+    let g = |k: &str| {
+        entries
+            .iter()
+            .find(|e| e.kernel == k && e.n == n)
+            .map(|e| e.gflops)
+    };
+    Some(g(num)? / g(den)?)
+}

@@ -9,7 +9,7 @@
 //! the reduction dimension (SUMMA rounds within the layer), and `C` is
 //! reduced across layers at the end.
 
-use denselin::gemm::gemm;
+use denselin::gemm::gemm_auto;
 use denselin::matrix::Matrix;
 use simnet::network::Network;
 use simnet::stats::CommStats;
@@ -103,7 +103,7 @@ pub fn multiply_25d(cfg: &Mmm25dConfig, a: Option<&Matrix>, b: Option<&Matrix>) 
             let lo = k * slice;
             let a_slice = a.block(0, lo, n, slice);
             let b_slice = b.block(lo, 0, slice, n);
-            gemm(&mut acc, 1.0, &a_slice, &b_slice, 1.0);
+            gemm_auto(&mut acc, 1.0, &a_slice, &b_slice, 1.0);
         }
         Some(acc)
     } else {

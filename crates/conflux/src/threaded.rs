@@ -545,6 +545,7 @@ fn rank_program(
                         continue;
                     }
                     let Some(u) = u_blocks.get(&bc) else { continue };
+                    // local Schur product via the packed register-blocked gemm
                     let prod = matmul(&l, u);
                     let delta = tiles.delta.get_mut(&(br, bc)).unwrap();
                     for (i, &r) in rows.iter().enumerate() {

@@ -107,7 +107,9 @@ impl Tile {
         assert_eq!(self.cols(), b.cols(), "col mismatch");
         match (self, a, b) {
             (Tile::Dense(c), Tile::Dense(am), Tile::Dense(bm)) => {
-                denselin::gemm::gemm(c, 1.0, am, bm, 1.0);
+                // Packed register-blocked kernel; fans out over the tile
+                // queue for large Schur-complement tiles.
+                denselin::gemm::gemm_auto(c, 1.0, am, bm, 1.0);
             }
             (Tile::Phantom { .. }, Tile::Phantom { .. }, Tile::Phantom { .. }) => {}
             _ => panic!("mixed dense/phantom tiles in accumulate_product"),

@@ -5,7 +5,7 @@
 //! right-looking) that the distributed 2.5D Cholesky in the `conflux` crate
 //! builds on, mirroring the role [`crate::lu`] plays for LU.
 
-use crate::gemm::gemm;
+use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
 
 /// Error: the matrix is not positive definite (a non-positive diagonal
@@ -71,9 +71,10 @@ pub fn cholesky_blocked(a: &Matrix, nb: usize) -> Result<Matrix, NotPositiveDefi
             // X * L00^T = A10  <=>  X = A10 * (L00^T)^{-1}: upper-right solve
             crate::trsm::trsm_upper_right(&mut a10, &l00t, false);
             l.set_block(k + b, k, &a10);
-            // symmetric trailing update: A11 -= L10 * L10^T
+            // symmetric trailing update: A11 -= L10 * L10^T (packed
+            // kernel, tile-parallel for large trailing blocks)
             let mut a11 = work.block(k + b, k + b, n - k - b, n - k - b);
-            gemm(&mut a11, -1.0, &a10, &a10.transpose(), 1.0);
+            gemm_auto(&mut a11, -1.0, &a10, &a10.transpose(), 1.0);
             work.set_block(k + b, k + b, &a11);
         }
         k += b;

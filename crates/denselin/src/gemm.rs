@@ -1,36 +1,197 @@
-//! Blocked and parallel general matrix-matrix multiplication.
+//! Packed, register-blocked general matrix-matrix multiplication.
 //!
 //! This is the BLAS-3 substitute used by every LU implementation in the
-//! workspace. It is cache-blocked in the classic `(mc, kc, nc)` fashion and
-//! can optionally fan the outer row loop out over crossbeam scoped threads
-//! (the distributed simulators call the serial version per rank; the parallel
-//! version exists for the shared-memory examples and benches).
+//! workspace. It follows the classic BLIS/GotoBLAS decomposition:
+//!
+//! * the operands are cut into `(mc, kc, nc)` cache blocks
+//!   ([`GemmBlocking`], autotuned at first use or overridable via the
+//!   `DENSELIN_GEMM_BLOCK=mc,kc,nc` environment variable),
+//! * `A` blocks are packed into column-major `MR`-row micro-panels and `B`
+//!   blocks into row-major `NR`-column micro-panels, so the innermost loop
+//!   streams both operands contiguously,
+//! * an unrolled `MR x NR` (8x4 f64) register-blocked microkernel keeps a
+//!   full tile of `C` in registers across the whole `kc` reduction. On
+//!   x86-64 the kernel is re-compiled with AVX2+FMA codegen (selected at
+//!   runtime via feature detection) so LLVM autovectorizes it to FMA;
+//!   elsewhere a portable scalar/SIMD-autovectorized body is used. When the
+//!   CPU additionally reports AVX-512F, a hand-unrolled 8x16 zmm-register
+//!   microkernel (explicit `_mm512_fmadd_pd` intrinsics, software prefetch
+//!   of the packed `A` stream, fused load-FMA-store writeback) takes over:
+//!   the wider tile halves the packed-`A` bandwidth per flop, which is the
+//!   binding constraint once the panel no longer fits L1.
+//!
+//! Fringe tiles smaller than `MR x NR` are handled by zero-padding the
+//! packed panels and a generic-size edge writeback.
+//!
+//! Parallelism is a work-stealing tile queue: the `(mc, nc)` macro-tiles of
+//! `C` form a shared queue (an atomic counter) drained by crossbeam scoped
+//! threads. Each tile performs its own full-`k` reduction in the same block
+//! order as the serial path, so parallel results are bitwise identical to
+//! serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
 
+/// Rows of `C` held in registers per microkernel invocation.
+pub const MR: usize = 8;
+/// Columns of `C` held in registers per microkernel invocation (portable
+/// and AVX2 kernels; the AVX-512 kernel widens to [`NR_AVX512`]).
+pub const NR: usize = 4;
+/// Columns of `C` per microkernel invocation for the AVX-512 kernel: two
+/// zmm vectors wide, so sixteen zmm accumulators cover the 8x16 tile.
+pub const NR_AVX512: usize = 16;
+
+/// The microkernel variant selected for this process (cached at first use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum KernelIsa {
+    /// 8x16 zmm-register kernel with explicit FMA intrinsics.
+    Avx512,
+    /// 8x4 kernel compiled with AVX2+FMA codegen.
+    Avx2Fma,
+    /// 8x4 kernel with whatever SIMD the baseline target grants.
+    Portable,
+}
+
+impl KernelIsa {
+    /// Packed-`B` micro-panel width for this kernel.
+    fn nr(self) -> usize {
+        match self {
+            KernelIsa::Avx512 => NR_AVX512,
+            _ => NR,
+        }
+    }
+}
+
+/// Runtime CPU-feature dispatch, resolved once per process.
+fn active_isa() -> KernelIsa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static ISA: OnceLock<KernelIsa> = OnceLock::new();
+        *ISA.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                KernelIsa::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                KernelIsa::Avx2Fma
+            } else {
+                KernelIsa::Portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        KernelIsa::Portable
+    }
+}
+
 /// Cache-blocking parameters for [`gemm`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GemmBlocking {
-    /// Rows of `A`/`C` per outer block.
+    /// Rows of `A`/`C` per macro-tile (packed-`A` panel height).
     pub mc: usize,
-    /// Inner (reduction) dimension per block.
+    /// Inner (reduction) dimension per block (packed panel depth).
     pub kc: usize,
-    /// Columns of `B`/`C` per outer block.
+    /// Columns of `B`/`C` per macro-tile (packed-`B` panel width).
     pub nc: usize,
 }
 
 impl Default for GemmBlocking {
     fn default() -> Self {
-        // Sized for ~L1/L2 resident blocks of f64 on commodity CPUs.
+        // ~L2-resident packed A (mc*kc*8 = 256 KB) and an L3-resident
+        // packed B panel; sensible on commodity x86-64 and aarch64.
         Self {
-            mc: 64,
-            kc: 128,
-            nc: 256,
+            mc: 128,
+            kc: 256,
+            nc: 512,
         }
     }
 }
 
-/// `C <- alpha * A * B + beta * C` (serial, cache-blocked).
+impl GemmBlocking {
+    /// The blocking used by [`gemm`]: the `DENSELIN_GEMM_BLOCK=mc,kc,nc`
+    /// environment override if set, otherwise a parameter set autotuned at
+    /// first use (a one-time ~100 ms probe over a small candidate grid,
+    /// cached for the process lifetime).
+    pub fn tuned() -> Self {
+        static TUNED: OnceLock<GemmBlocking> = OnceLock::new();
+        *TUNED.get_or_init(|| Self::from_env().unwrap_or_else(Self::autotune))
+    }
+
+    /// Parse the `DENSELIN_GEMM_BLOCK=mc,kc,nc` override, if present and
+    /// well-formed (three positive comma-separated integers).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("DENSELIN_GEMM_BLOCK").ok()?;
+        let mut it = raw.split(',').map(|s| s.trim().parse::<usize>());
+        match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(Ok(mc)), Some(Ok(kc)), Some(Ok(nc)), None) if mc > 0 && kc > 0 && nc > 0 => {
+                Some(Self { mc, kc, nc })
+            }
+            _ => None,
+        }
+    }
+
+    /// One-time probe: time a fixed mid-size multiplication under each
+    /// candidate blocking and keep the fastest. Deterministic inputs; only
+    /// the timing (and hence the chosen blocking) is machine-dependent.
+    fn autotune() -> Self {
+        const CANDIDATES: [GemmBlocking; 6] = [
+            GemmBlocking {
+                mc: 64,
+                kc: 128,
+                nc: 256,
+            },
+            GemmBlocking {
+                mc: 96,
+                kc: 192,
+                nc: 384,
+            },
+            GemmBlocking {
+                mc: 128,
+                kc: 256,
+                nc: 512,
+            },
+            GemmBlocking {
+                mc: 192,
+                kc: 256,
+                nc: 512,
+            },
+            GemmBlocking {
+                mc: 256,
+                kc: 256,
+                nc: 512,
+            },
+            GemmBlocking {
+                mc: 256,
+                kc: 384,
+                nc: 512,
+            },
+        ];
+        const N: usize = 240;
+        let a = Matrix::from_fn(N, N, |i, j| ((i * 7 + j * 3) % 23) as f64 * 0.0625 - 0.6);
+        let b = Matrix::from_fn(N, N, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.0625 - 0.5);
+        let mut c = Matrix::zeros(N, N);
+        let mut best = GemmBlocking::default();
+        let mut best_t = f64::INFINITY;
+        for cand in CANDIDATES {
+            let mut t = f64::INFINITY;
+            for _ in 0..2 {
+                let start = std::time::Instant::now();
+                gemm_blocked(&mut c, 1.0, &a, &b, 0.0, cand);
+                t = t.min(start.elapsed().as_secs_f64());
+            }
+            if t < best_t {
+                best_t = t;
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
+/// `C <- alpha * A * B + beta * C` (serial, packed + register-blocked).
 ///
 /// ```
 /// use denselin::{gemm::gemm, matrix::Matrix};
@@ -44,10 +205,12 @@ impl Default for GemmBlocking {
 /// # Panics
 /// Panics if the shapes are not conformant.
 pub fn gemm(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) {
-    gemm_blocked(c, alpha, a, b, beta, GemmBlocking::default());
+    gemm_blocked(c, alpha, a, b, beta, GemmBlocking::tuned());
 }
 
-/// [`gemm`] with explicit blocking parameters.
+/// [`gemm`] with explicit blocking parameters. Always takes the packed
+/// register-blocked path (no small-size fallback), so tests can force
+/// awkward blockings through the microkernel.
 pub fn gemm_blocked(
     c: &mut Matrix,
     alpha: f64,
@@ -66,20 +229,71 @@ pub fn gemm_blocked(
         return;
     }
 
+    let ldc = n;
+    let cptr = c.as_mut_slice().as_mut_ptr();
+    let mut abuf = Vec::new();
+    let mut bbuf = Vec::new();
+    for i0 in (0..m).step_by(blk.mc) {
+        let mh = blk.mc.min(m - i0);
+        for j0 in (0..n).step_by(blk.nc) {
+            let nw = blk.nc.min(n - j0);
+            // SAFETY: cptr points at the live `m x n` buffer of `c`, tiles
+            // are in-bounds, and this serial loop holds the only reference.
+            unsafe {
+                packed_tile_update(
+                    cptr, ldc, alpha, a, b, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
+                );
+            }
+        }
+    }
+}
+
+/// The pre-rewrite scalar macro-kernel path, kept as the reference
+/// implementation: property tests compare the packed kernel against it and
+/// `perfsmoke` reports the packed-vs-reference speedup.
+pub fn gemm_reference(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: inner dimensions must match");
+    assert_eq!(c.shape(), (m, n), "gemm: output shape must be (m, n)");
+
+    scale_in_place(c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let blk = GemmBlocking {
+        mc: 64,
+        kc: 128,
+        nc: 256,
+    };
     for kk in (0..k).step_by(blk.kc) {
         let kend = (kk + blk.kc).min(k);
         for ii in (0..m).step_by(blk.mc) {
             let iend = (ii + blk.mc).min(m);
             for jj in (0..n).step_by(blk.nc) {
                 let jend = (jj + blk.nc).min(n);
-                macro_kernel(c, alpha, a, b, ii..iend, kk..kend, jj..jend);
+                reference_macro_kernel(c, alpha, a, b, ii..iend, kk..kend, jj..jend);
             }
         }
     }
 }
 
-/// `C <- alpha * A * B + beta * C` with the row loop split over `threads`
-/// crossbeam scoped threads. Falls back to the serial path for tiny inputs.
+/// Per-worker tile counts from one [`gemm_parallel_report`] run, used to
+/// assert load balance in tests.
+#[derive(Clone, Debug)]
+pub struct TileQueueReport {
+    /// Total `(mc, nc)` macro-tiles of `C` that were enqueued.
+    pub tiles: usize,
+    /// Tiles drained by each spawned worker (length = workers spawned).
+    pub tiles_per_worker: Vec<usize>,
+}
+
+/// `C <- alpha * A * B + beta * C` with the `(mc, nc)` macro-tiles of `C`
+/// drained from a shared work queue by `threads` crossbeam scoped threads.
+///
+/// Each tile performs its full `k` reduction in the same `kc`-block order
+/// as the serial path, so the result is bitwise identical to [`gemm`].
+/// Falls back to the serial path for tiny inputs.
 pub fn gemm_parallel(
     c: &mut Matrix,
     alpha: f64,
@@ -88,6 +302,18 @@ pub fn gemm_parallel(
     beta: f64,
     threads: usize,
 ) {
+    let _ = gemm_parallel_report(c, alpha, a, b, beta, threads);
+}
+
+/// [`gemm_parallel`], returning the per-worker tile counts.
+pub fn gemm_parallel_report(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    threads: usize,
+) -> TileQueueReport {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm: inner dimensions must match");
@@ -96,25 +322,105 @@ pub fn gemm_parallel(
     let threads = threads.max(1);
     if threads == 1 || m * n * k < 64 * 64 * 64 {
         gemm(c, alpha, a, b, beta);
-        return;
+        return TileQueueReport {
+            tiles: 1,
+            tiles_per_worker: vec![1],
+        };
     }
 
-    let band_rows = m.div_ceil(threads);
-    let bands = c.row_bands_mut(band_rows);
-    crossbeam::thread::scope(|scope| {
-        for (t, band) in bands.into_iter().enumerate() {
-            let r0 = t * band_rows;
-            let nrows = band.len() / n;
-            scope.spawn(move |_| {
-                // Each worker computes its own disjoint row band of C.
-                let mut local = Matrix::from_vec(nrows, n, band.to_vec());
-                let a_band = a.block(r0, 0, nrows, k);
-                gemm(&mut local, alpha, &a_band, b, beta);
-                band.copy_from_slice(local.as_slice());
-            });
-        }
+    let blk = GemmBlocking::tuned();
+    scale_in_place(c, beta);
+    if alpha == 0.0 {
+        return TileQueueReport {
+            tiles: 0,
+            tiles_per_worker: Vec::new(),
+        };
+    }
+
+    let mtiles = m.div_ceil(blk.mc);
+    let ntiles = n.div_ceil(blk.nc);
+    let tiles = mtiles * ntiles;
+    let workers = threads.min(tiles);
+    let next = AtomicUsize::new(0);
+    let cptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let ldc = n;
+
+    let tiles_per_worker = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let cptr = &cptr;
+                scope.spawn(move |_| {
+                    let mut abuf = Vec::new();
+                    let mut bbuf = Vec::new();
+                    let mut drained = 0usize;
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tiles {
+                            break;
+                        }
+                        let (ti, tj) = (t / ntiles, t % ntiles);
+                        let i0 = ti * blk.mc;
+                        let mh = blk.mc.min(m - i0);
+                        let j0 = tj * blk.nc;
+                        let nw = blk.nc.min(n - j0);
+                        // SAFETY: the atomic counter hands each tile index to
+                        // exactly one worker, tile (i0..i0+mh, j0..j0+nw)
+                        // regions are pairwise disjoint, and cptr outlives
+                        // the scope (borrowed from `c` above).
+                        unsafe {
+                            packed_tile_update(
+                                cptr.0, ldc, alpha, a, b, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
+                            );
+                        }
+                        drained += 1;
+                    }
+                    drained
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gemm_parallel worker panicked"))
+            .collect::<Vec<_>>()
     })
-    .expect("gemm_parallel worker panicked");
+    .expect("gemm_parallel scope failed");
+
+    TileQueueReport {
+        tiles,
+        tiles_per_worker,
+    }
+}
+
+/// `C <- alpha * A * B + beta * C`, picking serial vs tile-queue-parallel
+/// automatically: large problems fan out over all available cores
+/// (overridable via `DENSELIN_GEMM_THREADS`), small ones stay serial.
+///
+/// This is the entry point the blocked factorizations and the distributed
+/// drivers' local updates go through.
+pub fn gemm_auto(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let threads = auto_threads();
+    if threads > 1 && m * n * k >= 128 * 128 * 128 {
+        gemm_parallel(c, alpha, a, b, beta, threads);
+    } else {
+        gemm(c, alpha, a, b, beta);
+    }
+}
+
+/// Thread count used by [`gemm_auto`]: `DENSELIN_GEMM_THREADS` override or
+/// the machine's available parallelism, cached per process.
+pub fn auto_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(raw) = std::env::var("DENSELIN_GEMM_THREADS") {
+            if let Ok(t) = raw.trim().parse::<usize>() {
+                return t.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    })
 }
 
 /// Convenience: allocate and return `A * B`.
@@ -137,10 +443,300 @@ fn scale_in_place(c: &mut Matrix, beta: f64) {
     }
 }
 
-/// Rank-update of the `C[ii, jj]` block with `A[ii, kk] * B[kk, jj]`.
-/// Uses an `i-k-j` loop order so the innermost loop is a contiguous AXPY
-/// over rows of `B` and `C`, which LLVM auto-vectorizes.
-fn macro_kernel(
+/// Raw pointer into `C` that can cross scoped-thread boundaries. Soundness
+/// rests on the tile queue handing out pairwise-disjoint `C` regions.
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Accumulate `C[i0..i0+mh, j0..j0+nw] += alpha * A[i0.., :] * B[:, j0..]`
+/// over the full reduction dimension, packing `kc`-deep panels of `A` and
+/// `B` and driving the register-blocked microkernel. `beta` must already be
+/// applied to `C`.
+///
+/// # Safety
+/// `cptr` must point at a live `? x ldc` row-major buffer covering the tile,
+/// and no other thread may concurrently touch rows `i0..i0+mh` columns
+/// `j0..j0+nw` of it.
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_tile_update(
+    cptr: *mut f64,
+    ldc: usize,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    i0: usize,
+    mh: usize,
+    j0: usize,
+    nw: usize,
+    blk: GemmBlocking,
+    abuf: &mut Vec<f64>,
+    bbuf: &mut Vec<f64>,
+) {
+    let k = a.cols();
+    let isa = active_isa();
+    let nr = isa.nr();
+    let mut pc = 0;
+    while pc < k {
+        let kc = blk.kc.min(k - pc);
+        pack_b(b, pc, j0, kc, nw, nr, bbuf);
+        pack_a(a, i0, pc, mh, kc, abuf);
+        let mpanels = mh.div_ceil(MR);
+        let npanels = nw.div_ceil(nr);
+        for jp in 0..npanels {
+            let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
+            let nr_eff = nr.min(nw - jp * nr);
+            for ip in 0..mpanels {
+                let ap = &abuf[ip * MR * kc..(ip + 1) * MR * kc];
+                let mr_eff = MR.min(mh - ip * MR);
+                let ctile = cptr.add((i0 + ip * MR) * ldc + j0 + jp * nr);
+                match isa {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelIsa::Avx512 => {
+                        microkernel_avx512(
+                            kc,
+                            ap.as_ptr(),
+                            bp.as_ptr(),
+                            ctile,
+                            ldc,
+                            alpha,
+                            mr_eff,
+                            nr_eff,
+                        );
+                    }
+                    _ => {
+                        let acc = run_microkernel(isa == KernelIsa::Avx2Fma, kc, ap, bp);
+                        writeback(ctile, ldc, mr_eff, nr_eff, alpha, &acc);
+                    }
+                }
+            }
+        }
+        pc += kc;
+    }
+}
+
+/// Pack the `mh x kc` block of `A` at `(i0, p0)` into `ceil(mh/MR)`
+/// micro-panels. Panel `ip` stores its `MR` rows column-major (`kc` groups
+/// of `MR` consecutive values); rows past `mh` are zero-padded so the
+/// microkernel always reads full `MR` groups.
+fn pack_a(a: &Matrix, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mh.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * MR * kc, 0.0);
+    for ip in 0..panels {
+        let base = ip * MR * kc;
+        let rmax = MR.min(mh - ip * MR);
+        for r in 0..rmax {
+            let arow = &a.row(i0 + ip * MR + r)[p0..p0 + kc];
+            for (kk, &v) in arow.iter().enumerate() {
+                buf[base + kk * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nw` block of `B` at `(p0, j0)` into `ceil(nw/nr)`
+/// micro-panels. Panel `jp` stores its `nr` columns row-major (`kc` groups
+/// of `nr` consecutive values); columns past `nw` are zero-padded. The
+/// panel width `nr` matches the active microkernel's tile width.
+fn pack_b(b: &Matrix, p0: usize, j0: usize, kc: usize, nw: usize, nr: usize, buf: &mut Vec<f64>) {
+    let panels = nw.div_ceil(nr);
+    buf.clear();
+    buf.resize(panels * nr * kc, 0.0);
+    for kk in 0..kc {
+        let brow = &b.row(p0 + kk)[j0..j0 + nw];
+        for jp in 0..panels {
+            let base = jp * nr * kc + kk * nr;
+            let cmax = nr.min(nw - jp * nr);
+            for cc in 0..cmax {
+                buf[base + cc] = brow[jp * nr + cc];
+            }
+        }
+    }
+}
+
+/// The register-blocked inner loop: a full `MR x NR` tile of `C` is kept in
+/// `acc` across the whole `kc` reduction, reading one `MR`-group of packed
+/// `A` and one `NR`-group of packed `B` per step. `FUSE` selects fused
+/// multiply-add (only instantiated where FMA codegen is guaranteed, so it
+/// never lowers to a libm call).
+#[inline(always)]
+fn microkernel_body<const FUSE: bool>(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut acc = [0.0f64; MR * NR];
+    for kk in 0..kc {
+        let av = &ap[kk * MR..kk * MR + MR];
+        let bv = &bp[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = av[r];
+            for cc in 0..NR {
+                let t = acc[r * NR + cc];
+                acc[r * NR + cc] = if FUSE {
+                    ar.mul_add(bv[cc], t)
+                } else {
+                    ar * bv[cc] + t
+                };
+            }
+        }
+    }
+    acc
+}
+
+/// aarch64 has FMA (`fmla`) in its baseline ISA, so the portable kernel can
+/// fuse unconditionally there; elsewhere plain mul+add avoids a libm `fma`
+/// call on targets without hardware FMA.
+#[cfg(target_arch = "aarch64")]
+fn microkernel_portable(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
+    microkernel_body::<true>(kc, ap, bp)
+}
+
+#[cfg(not(target_arch = "aarch64"))]
+fn microkernel_portable(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
+    microkernel_body::<false>(kc, ap, bp)
+}
+
+/// The same Rust body re-compiled with AVX2+FMA codegen: LLVM autovectorizes
+/// the 8x4 accumulator block into ymm-register FMAs.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2fma(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
+    microkernel_body::<true>(kc, ap, bp)
+}
+
+#[inline(always)]
+fn run_microkernel(fma: bool, kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if fma {
+        // SAFETY: `fma` is set only when active_isa() detected AVX2+FMA.
+        return unsafe { microkernel_avx2fma(kc, ap, bp) };
+    }
+    let _ = fma;
+    microkernel_portable(kc, ap, bp)
+}
+
+/// The 8x16 AVX-512 microkernel: sixteen zmm accumulators hold the full
+/// `MR x NR_AVX512` tile of `C` across the `kc` reduction; each step does
+/// one two-vector load of packed `B`, eight scalar broadcasts of packed `A`
+/// (prefetched a cache line ahead), and sixteen `vfmadd`s. Full tiles fold
+/// the `C += alpha * acc` writeback into vector load-FMA-store; fringe
+/// tiles spill `acc` to a scratch tile and take the generic edge loop.
+///
+/// # Safety
+/// Caller must ensure AVX-512F support, `ap`/`bp` panels of at least
+/// `kc*MR` / `kc*NR_AVX512` elements, and exclusive in-bounds access to
+/// rows `0..mr_eff` x columns `0..nr_eff` of the `ldc`-strided `ctile`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_avx512(
+    kc: usize,
+    ap: *const f64,
+    bp: *const f64,
+    ctile: *mut f64,
+    ldc: usize,
+    alpha: f64,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut acc0 = [_mm512_setzero_pd(); MR];
+    let mut acc1 = [_mm512_setzero_pd(); MR];
+    let mut a = ap;
+    let mut b = bp;
+    for _ in 0..kc {
+        let bv0 = _mm512_loadu_pd(b);
+        let bv1 = _mm512_loadu_pd(b.add(8));
+        _mm_prefetch::<_MM_HINT_T0>(a.add(64) as *const i8);
+        let a0 = _mm512_set1_pd(*a.add(0));
+        acc0[0] = _mm512_fmadd_pd(a0, bv0, acc0[0]);
+        acc1[0] = _mm512_fmadd_pd(a0, bv1, acc1[0]);
+        let a1 = _mm512_set1_pd(*a.add(1));
+        acc0[1] = _mm512_fmadd_pd(a1, bv0, acc0[1]);
+        acc1[1] = _mm512_fmadd_pd(a1, bv1, acc1[1]);
+        let a2 = _mm512_set1_pd(*a.add(2));
+        acc0[2] = _mm512_fmadd_pd(a2, bv0, acc0[2]);
+        acc1[2] = _mm512_fmadd_pd(a2, bv1, acc1[2]);
+        let a3 = _mm512_set1_pd(*a.add(3));
+        acc0[3] = _mm512_fmadd_pd(a3, bv0, acc0[3]);
+        acc1[3] = _mm512_fmadd_pd(a3, bv1, acc1[3]);
+        let a4 = _mm512_set1_pd(*a.add(4));
+        acc0[4] = _mm512_fmadd_pd(a4, bv0, acc0[4]);
+        acc1[4] = _mm512_fmadd_pd(a4, bv1, acc1[4]);
+        let a5 = _mm512_set1_pd(*a.add(5));
+        acc0[5] = _mm512_fmadd_pd(a5, bv0, acc0[5]);
+        acc1[5] = _mm512_fmadd_pd(a5, bv1, acc1[5]);
+        let a6 = _mm512_set1_pd(*a.add(6));
+        acc0[6] = _mm512_fmadd_pd(a6, bv0, acc0[6]);
+        acc1[6] = _mm512_fmadd_pd(a6, bv1, acc1[6]);
+        let a7 = _mm512_set1_pd(*a.add(7));
+        acc0[7] = _mm512_fmadd_pd(a7, bv0, acc0[7]);
+        acc1[7] = _mm512_fmadd_pd(a7, bv1, acc1[7]);
+        a = a.add(MR);
+        b = b.add(NR_AVX512);
+    }
+    if mr_eff == MR && nr_eff == NR_AVX512 {
+        let av = _mm512_set1_pd(alpha);
+        for r in 0..MR {
+            let p = ctile.add(r * ldc);
+            _mm512_storeu_pd(p, _mm512_fmadd_pd(av, acc0[r], _mm512_loadu_pd(p)));
+            let p8 = p.add(8);
+            _mm512_storeu_pd(p8, _mm512_fmadd_pd(av, acc1[r], _mm512_loadu_pd(p8)));
+        }
+    } else {
+        let mut scratch = [0.0f64; MR * NR_AVX512];
+        for r in 0..MR {
+            let s = scratch.as_mut_ptr().add(r * NR_AVX512);
+            _mm512_storeu_pd(s, acc0[r]);
+            _mm512_storeu_pd(s.add(8), acc1[r]);
+        }
+        for r in 0..mr_eff {
+            let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), nr_eff);
+            for (cc, cv) in crow.iter_mut().enumerate() {
+                *cv += alpha * scratch[r * NR_AVX512 + cc];
+            }
+        }
+    }
+}
+
+/// Scatter `alpha * acc` into `C`. Full tiles take the constant-bound fast
+/// path; fringe tiles (`mr_eff < MR` or `nr_eff < NR`) go through the
+/// generic-size edge kernel.
+///
+/// # Safety
+/// Rows `0..mr_eff`, columns `0..nr_eff` of the `ldc`-strided buffer at
+/// `ctile` must be in-bounds, with no concurrent access to them.
+#[inline(always)]
+unsafe fn writeback(
+    ctile: *mut f64,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    alpha: f64,
+    acc: &[f64; MR * NR],
+) {
+    if mr_eff == MR && nr_eff == NR {
+        for r in 0..MR {
+            let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), NR);
+            for cc in 0..NR {
+                crow[cc] += alpha * acc[r * NR + cc];
+            }
+        }
+    } else {
+        for r in 0..mr_eff {
+            let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), nr_eff);
+            for (cc, cv) in crow.iter_mut().enumerate() {
+                *cv += alpha * acc[r * NR + cc];
+            }
+        }
+    }
+}
+
+/// Rank-update of the `C[ii, jj]` block with `A[ii, kk] * B[kk, jj]` — the
+/// pre-packing scalar kernel, retained as the reference path.
+fn reference_macro_kernel(
     c: &mut Matrix,
     alpha: f64,
     a: &Matrix,
@@ -270,6 +866,83 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_naive_awkward_shapes() {
+        // Property coverage over shapes that stress every fringe case:
+        // sub-microkernel tiles, exact MR/NR multiples, one-past multiples.
+        let sizes = [1usize, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31, 33];
+        let mut rng = StdRng::seed_from_u64(40);
+        for &m in &sizes {
+            for &n in &sizes {
+                for &k in &sizes {
+                    let a = Matrix::random(&mut rng, m, k);
+                    let b = Matrix::random(&mut rng, k, n);
+                    let mut c = Matrix::zeros(m, n);
+                    gemm_blocked(&mut c, 1.0, &a, &b, 0.0, GemmBlocking::default());
+                    assert!(
+                        c.allclose(&naive(&a, &b), 1e-10),
+                        "packed gemm mismatch at m={m} n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fringe_smaller_than_microkernel() {
+        // Whole problems smaller than one MR x NR register tile.
+        let mut rng = StdRng::seed_from_u64(41);
+        for (m, n, k) in [
+            (1, 1, 1),
+            (2, 3, 2),
+            (MR - 1, NR - 1, 5),
+            (MR + 1, NR + 1, 3),
+        ] {
+            let a = Matrix::random(&mut rng, m, k);
+            let b = Matrix::random(&mut rng, k, n);
+            let c0 = Matrix::random(&mut rng, m, n);
+            let mut c = c0.clone();
+            gemm_blocked(&mut c, 1.5, &a, &b, -0.5, GemmBlocking::default());
+            let mut expect = c0.clone();
+            gemm_reference(&mut expect, 1.5, &a, &b, -0.5);
+            assert!(c.allclose(&expect, 1e-12), "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn packed_matches_reference_alpha_beta_grid() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Matrix::random(&mut rng, 37, 29);
+        let b = Matrix::random(&mut rng, 29, 41);
+        for &alpha in &[0.0, 1.0, -1.0, 2.5] {
+            for &beta in &[0.0, 1.0, -1.0, 0.5] {
+                let c0 = Matrix::random(&mut rng, 37, 41);
+                let mut c_packed = c0.clone();
+                gemm_blocked(&mut c_packed, alpha, &a, &b, beta, GemmBlocking::default());
+                let mut c_ref = c0.clone();
+                gemm_reference(&mut c_ref, alpha, &a, &b, beta);
+                assert!(
+                    c_packed.allclose(&c_ref, 1e-10),
+                    "alpha={alpha} beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_in_packed_and_parallel_paths() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = Matrix::random(&mut rng, 70, 70);
+        let b = Matrix::random(&mut rng, 70, 70);
+        let expect = naive(&a, &b);
+        let mut c = Matrix::from_fn(70, 70, |_, _| f64::NAN);
+        gemm_blocked(&mut c, 1.0, &a, &b, 0.0, GemmBlocking::default());
+        assert!(c.allclose(&expect, 1e-10));
+        let mut cp = Matrix::from_fn(70, 70, |_, _| f64::INFINITY);
+        gemm_parallel(&mut cp, 1.0, &a, &b, 0.0, 3);
+        assert!(cp.allclose(&expect, 1e-10));
+    }
+
+    #[test]
     fn gemm_parallel_matches_serial() {
         let mut rng = StdRng::seed_from_u64(16);
         let a = Matrix::random(&mut rng, 130, 70);
@@ -280,6 +953,102 @@ mod tests {
         let mut c_par = c0.clone();
         gemm_parallel(&mut c_par, 1.5, &a, &b, 0.5, 4);
         assert!(c_par.allclose(&c_serial, 1e-10));
+    }
+
+    #[test]
+    fn gemm_parallel_bitwise_identical_to_serial() {
+        // Tiles reduce in the same kc-block order as the serial loop, so
+        // the parallel path must agree bit for bit, not just to tolerance.
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = Matrix::random(&mut rng, 193, 85);
+        let b = Matrix::random(&mut rng, 85, 131);
+        let c0 = Matrix::random(&mut rng, 193, 131);
+        let mut c_serial = c0.clone();
+        gemm(&mut c_serial, -1.25, &a, &b, 0.75);
+        let mut c_par = c0.clone();
+        gemm_parallel(&mut c_par, -1.25, &a, &b, 0.75, 5);
+        assert_eq!(c_serial.as_slice(), c_par.as_slice());
+    }
+
+    #[test]
+    fn tile_queue_load_balance() {
+        // The row-band split used to strand the last thread with a short
+        // (possibly empty) band. The tile queue must (a) cover every tile
+        // exactly once, (b) never spawn more workers than tiles.
+        let mut rng = StdRng::seed_from_u64(45);
+        let blk = GemmBlocking::tuned();
+        // m chosen so the old band split (div_ceil) would leave an empty band.
+        let m = 3 * blk.mc + 1;
+        let n = 2 * blk.nc + 3;
+        let k = 80;
+        let a = Matrix::random(&mut rng, m, k);
+        let b = Matrix::random(&mut rng, k, n);
+        let mut c = Matrix::zeros(m, n);
+        let report = gemm_parallel_report(&mut c, 1.0, &a, &b, 0.0, 4);
+        let expect_tiles = m.div_ceil(blk.mc) * n.div_ceil(blk.nc);
+        assert_eq!(report.tiles, expect_tiles);
+        assert_eq!(
+            report.tiles_per_worker.iter().sum::<usize>(),
+            expect_tiles,
+            "every tile must be drained exactly once"
+        );
+        assert!(
+            report.tiles_per_worker.len() <= expect_tiles.min(4),
+            "no idle workers may be spawned"
+        );
+        // And the result is still right.
+        let mut c_ref = Matrix::zeros(m, n);
+        gemm_reference(&mut c_ref, 1.0, &a, &b, 0.0);
+        assert!(c.allclose(&c_ref, 1e-9));
+    }
+
+    #[test]
+    fn more_workers_than_tiles_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let blk = GemmBlocking::tuned();
+        let (m, n, k) = (blk.mc, blk.nc, 70);
+        let a = Matrix::random(&mut rng, m, k);
+        let b = Matrix::random(&mut rng, k, n);
+        let mut c = Matrix::zeros(m, n);
+        let report = gemm_parallel_report(&mut c, 1.0, &a, &b, 0.0, 16);
+        assert_eq!(report.tiles, 1);
+        assert_eq!(report.tiles_per_worker.len(), 1);
+    }
+
+    #[test]
+    fn gemm_auto_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = Matrix::random(&mut rng, 140, 140);
+        let b = Matrix::random(&mut rng, 140, 140);
+        let c0 = Matrix::random(&mut rng, 140, 140);
+        let mut c1 = c0.clone();
+        gemm(&mut c1, 1.0, &a, &b, 1.0);
+        let mut c2 = c0.clone();
+        gemm_auto(&mut c2, 1.0, &a, &b, 1.0);
+        assert_eq!(c1.as_slice(), c2.as_slice());
+    }
+
+    #[test]
+    fn blocking_env_parse() {
+        // from_env reads the live environment; exercise the parser via a
+        // guarded set/remove (tests in this binary run in-process).
+        std::env::set_var("DENSELIN_GEMM_BLOCK", "32, 64,128");
+        assert_eq!(
+            GemmBlocking::from_env(),
+            Some(GemmBlocking {
+                mc: 32,
+                kc: 64,
+                nc: 128
+            })
+        );
+        std::env::set_var("DENSELIN_GEMM_BLOCK", "bogus");
+        assert_eq!(GemmBlocking::from_env(), None);
+        std::env::set_var("DENSELIN_GEMM_BLOCK", "1,2");
+        assert_eq!(GemmBlocking::from_env(), None);
+        std::env::set_var("DENSELIN_GEMM_BLOCK", "0,2,3");
+        assert_eq!(GemmBlocking::from_env(), None);
+        std::env::remove_var("DENSELIN_GEMM_BLOCK");
+        assert_eq!(GemmBlocking::from_env(), None);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! validate full factorizations numerically:
 //!
 //! * [`matrix`] — the row-major [`matrix::Matrix`] type,
-//! * [`mod@gemm`] — cache-blocked and crossbeam-parallel matrix multiply,
+//! * [`mod@gemm`] — packed register-blocked matrix multiply with a
+//!   work-stealing tile-queue parallel path,
 //! * [`trsm`] — the four triangular-solve variants LU needs,
 //! * [`lu`] — partial-pivoting LU (unblocked + blocked right-looking),
 //! * [`tournament`] — communication-avoiding tournament pivoting,
@@ -28,7 +29,7 @@ pub mod trsm;
 pub use blockcyclic::{BlockCyclic1D, BlockCyclic2D};
 pub use cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
 pub use condition::{condition_estimate, one_norm};
-pub use gemm::{gemm, gemm_parallel, matmul};
+pub use gemm::{gemm, gemm_auto, gemm_parallel, matmul, GemmBlocking};
 pub use lu::{lu_blocked, lu_unblocked, LuFactorization, SingularMatrix};
 pub use matrix::Matrix;
 pub use qr::{qr_householder, tsqr, QrFactorization};

@@ -5,7 +5,7 @@
 //! verification helpers (residual, growth factor) used to validate every
 //! distributed LU in the workspace.
 
-use crate::gemm::gemm;
+use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
 use crate::trsm::{trsm_lower_left, trsm_upper_left};
 
@@ -118,10 +118,11 @@ pub fn lu_blocked(a: &Matrix, nb: usize) -> Result<LuFactorization, SingularMatr
             trsm_lower_left(&l00, &mut a01, true);
             lu.set_block(k, k + kb, &a01);
             if k + kb < m {
-                // --- trailing update: A11 -= L10 * U01 ---
+                // --- trailing update: A11 -= L10 * U01 (packed kernel,
+                // tile-parallel when the trailing block is big enough) ---
                 let l10 = lu.block(k + kb, k, m - k - kb, kb);
                 let mut a11 = lu.block(k + kb, k + kb, m - k - kb, n - k - kb);
-                gemm(&mut a11, -1.0, &l10, &a01, 1.0);
+                gemm_auto(&mut a11, -1.0, &l10, &a01, 1.0);
                 lu.set_block(k + kb, k + kb, &a11);
             }
         }

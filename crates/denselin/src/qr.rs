@@ -68,13 +68,7 @@ pub fn qr_householder(a: &Matrix) -> QrFactorization {
             continue;
         }
         // apply (I - 2 v v^T / v^T v) to R[k.., k..]
-        for j in k..n {
-            let dot: f64 = (k..m).map(|i| x[i - k] * r[(i, j)]).sum();
-            let scale = 2.0 * dot / vnorm2;
-            for i in k..m {
-                r[(i, j)] -= scale * x[i - k];
-            }
-        }
+        apply_reflector(&mut r, &x, vnorm2, k, k);
         vs.push(x);
     }
     // Q = H_0 H_1 ... H_{n-1} * I_thin: apply reflectors in reverse
@@ -84,17 +78,39 @@ pub fn qr_householder(a: &Matrix) -> QrFactorization {
         if vnorm2 == 0.0 {
             continue;
         }
-        for j in 0..n {
-            let dot: f64 = (k..m).map(|i| x[i - k] * q[(i, j)]).sum();
-            let scale = 2.0 * dot / vnorm2;
-            for i in k..m {
-                q[(i, j)] -= scale * x[i - k];
-            }
-        }
+        apply_reflector(&mut q, x, vnorm2, k, 0);
     }
     // zero out the sub-diagonal garbage of R and truncate
     let r_thin = Matrix::from_fn(n, n, |i, j| if j >= i { r[(i, j)] } else { 0.0 });
     QrFactorization { q, r: r_thin }
+}
+
+/// Apply the Householder reflector `I - 2 v vᵀ / vᵀv` (with `v` spanning
+/// rows `row0..m`) to columns `col0..` of `a`, traversing row slices so the
+/// row-major storage is streamed contiguously: first accumulate
+/// `w = vᵀ · A[row0.., col0..]`, then the rank-1 update `A -= (2/vᵀv) v wᵀ`.
+fn apply_reflector(a: &mut Matrix, v: &[f64], vnorm2: f64, row0: usize, col0: usize) {
+    let (m, n) = a.shape();
+    let mut w = vec![0.0; n - col0];
+    for i in row0..m {
+        let vi = v[i - row0];
+        if vi != 0.0 {
+            let arow = &a.row(i)[col0..];
+            for (wj, av) in w.iter_mut().zip(arow) {
+                *wj += vi * av;
+            }
+        }
+    }
+    let s = 2.0 / vnorm2;
+    for i in row0..m {
+        let vi = s * v[i - row0];
+        if vi != 0.0 {
+            let arow = &mut a.row_mut(i)[col0..];
+            for (av, wj) in arow.iter_mut().zip(&w) {
+                *av -= vi * wj;
+            }
+        }
+    }
 }
 
 /// One TSQR merge: stack two `n x n` R factors, factor the `2n x n` stack,

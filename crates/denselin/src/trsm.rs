@@ -10,7 +10,7 @@
 //! Each has a `unit_diag` flag matching the LAPACK `diag` parameter; LU
 //! stores `L` with an implicit unit diagonal.
 
-use crate::gemm::gemm;
+use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
 
 /// Panel width above which the blocked (GEMM-rich) path is taken.
@@ -33,7 +33,7 @@ pub fn trsm_lower_left(l: &Matrix, b: &mut Matrix, unit_diag: bool) {
             let l21 = l.block(k + kb, k, n - k - kb, kb);
             let x1 = b.block(k, 0, kb, b.cols());
             let mut b2 = b.block(k + kb, 0, n - k - kb, b.cols());
-            gemm(&mut b2, -1.0, &l21, &x1, 1.0);
+            gemm_auto(&mut b2, -1.0, &l21, &x1, 1.0);
             b.set_block(k + kb, 0, &b2);
         }
         k += kb;
@@ -54,7 +54,7 @@ pub fn trsm_upper_left(u: &Matrix, b: &mut Matrix, unit_diag: bool) {
             let u01 = u.block(0, k - kb, k - kb, kb);
             let x1 = b.block(k - kb, 0, kb, b.cols());
             let mut b0 = b.block(0, 0, k - kb, b.cols());
-            gemm(&mut b0, -1.0, &u01, &x1, 1.0);
+            gemm_auto(&mut b0, -1.0, &u01, &x1, 1.0);
             b.set_block(0, 0, &b0);
         }
         k -= kb;
@@ -76,7 +76,7 @@ pub fn trsm_upper_right(b: &mut Matrix, u: &Matrix, unit_diag: bool) {
             let u12 = u.block(k, k + kb, kb, n - k - kb);
             let x1 = b.block(0, k, b.rows(), kb);
             let mut b2 = b.block(0, k + kb, b.rows(), n - k - kb);
-            gemm(&mut b2, -1.0, &x1, &u12, 1.0);
+            gemm_auto(&mut b2, -1.0, &x1, &u12, 1.0);
             b.set_block(0, k + kb, &b2);
         }
         k += kb;
@@ -98,7 +98,7 @@ pub fn trsm_lower_right(b: &mut Matrix, l: &Matrix, unit_diag: bool) {
             let l10 = l.block(k - kb, 0, kb, k - kb);
             let x1 = b.block(0, k - kb, b.rows(), kb);
             let mut b0 = b.block(0, 0, b.rows(), k - kb);
-            gemm(&mut b0, -1.0, &x1, &l10, 1.0);
+            gemm_auto(&mut b0, -1.0, &x1, &l10, 1.0);
             b.set_block(0, 0, &b0);
         }
         k -= kb;
@@ -120,20 +120,20 @@ fn check_right(b: &Matrix, t: &Matrix) -> usize {
 }
 
 /// Forward substitution on rows `lo..hi`, assuming rows `< lo` are solved.
+/// All inner loops run over contiguous row slices (AXPY form).
 fn trsm_lower_left_unblocked(l: &Matrix, b: &mut Matrix, unit_diag: bool, lo: usize, hi: usize) {
-    let nrhs = b.cols();
     for i in lo..hi {
-        for k in lo..i {
-            let lik = l[(i, k)];
+        let lrow = l.row(i);
+        for (k, &lik) in lrow.iter().enumerate().take(i).skip(lo) {
             if lik != 0.0 {
                 let (bi, bk) = row_pair_mut(b, i, k);
-                for j in 0..nrhs {
-                    bi[j] -= lik * bk[j];
+                for (x, y) in bi.iter_mut().zip(bk) {
+                    *x -= lik * y;
                 }
             }
         }
         if !unit_diag {
-            let d = l[(i, i)];
+            let d = lrow[i];
             assert!(d != 0.0, "singular triangular factor");
             for x in b.row_mut(i) {
                 *x /= d;
@@ -143,19 +143,18 @@ fn trsm_lower_left_unblocked(l: &Matrix, b: &mut Matrix, unit_diag: bool, lo: us
 }
 
 fn trsm_upper_left_unblocked(u: &Matrix, b: &mut Matrix, unit_diag: bool, lo: usize, hi: usize) {
-    let nrhs = b.cols();
     for ii in (lo..hi).rev() {
-        for k in ii + 1..hi {
-            let uik = u[(ii, k)];
+        let urow = u.row(ii);
+        for (k, &uik) in urow.iter().enumerate().take(hi).skip(ii + 1) {
             if uik != 0.0 {
                 let (bi, bk) = row_pair_mut(b, ii, k);
-                for j in 0..nrhs {
-                    bi[j] -= uik * bk[j];
+                for (x, y) in bi.iter_mut().zip(bk) {
+                    *x -= uik * y;
                 }
             }
         }
         if !unit_diag {
-            let d = u[(ii, ii)];
+            let d = urow[ii];
             assert!(d != 0.0, "singular triangular factor");
             for x in b.row_mut(ii) {
                 *x /= d;
@@ -165,20 +164,27 @@ fn trsm_upper_left_unblocked(u: &Matrix, b: &mut Matrix, unit_diag: bool, lo: us
 }
 
 fn trsm_upper_right_unblocked(b: &mut Matrix, u: &Matrix, unit_diag: bool, lo: usize, hi: usize) {
-    for j in lo..hi {
-        let d = if unit_diag { 1.0 } else { u[(j, j)] };
-        assert!(d != 0.0, "singular triangular factor");
-        for i in 0..b.rows() {
-            let mut x = b[(i, j)];
+    if !unit_diag {
+        for j in lo..hi {
+            assert!(u[(j, j)] != 0.0, "singular triangular factor");
+        }
+    }
+    // Each row of B solves independently; stream along the row slice so the
+    // elimination of column j from columns j+1..hi is a contiguous AXPY over
+    // both B's row and U's row j.
+    for i in 0..b.rows() {
+        let brow = b.row_mut(i);
+        for j in lo..hi {
+            let mut x = brow[j];
             if !unit_diag {
-                x /= d;
+                x /= u[(j, j)];
+                brow[j] = x;
             }
-            b[(i, j)] = x;
-            // eliminate column j from the remaining columns of row i
-            for k in j + 1..hi {
-                let ujk = u[(j, k)];
-                if ujk != 0.0 {
-                    b[(i, k)] -= x * ujk;
+            if x != 0.0 {
+                let urow = &u.row(j)[j + 1..hi];
+                let btail = &mut brow[j + 1..hi];
+                for (bv, uv) in btail.iter_mut().zip(urow) {
+                    *bv -= x * uv;
                 }
             }
         }
@@ -186,19 +192,24 @@ fn trsm_upper_right_unblocked(b: &mut Matrix, u: &Matrix, unit_diag: bool, lo: u
 }
 
 fn trsm_lower_right_unblocked(b: &mut Matrix, l: &Matrix, unit_diag: bool, lo: usize, hi: usize) {
-    for j in (lo..hi).rev() {
-        let d = if unit_diag { 1.0 } else { l[(j, j)] };
-        assert!(d != 0.0, "singular triangular factor");
-        for i in 0..b.rows() {
-            let mut x = b[(i, j)];
+    if !unit_diag {
+        for j in lo..hi {
+            assert!(l[(j, j)] != 0.0, "singular triangular factor");
+        }
+    }
+    for i in 0..b.rows() {
+        let brow = b.row_mut(i);
+        for j in (lo..hi).rev() {
+            let mut x = brow[j];
             if !unit_diag {
-                x /= d;
+                x /= l[(j, j)];
+                brow[j] = x;
             }
-            b[(i, j)] = x;
-            for k in lo..j {
-                let ljk = l[(j, k)];
-                if ljk != 0.0 {
-                    b[(i, k)] -= x * ljk;
+            if x != 0.0 {
+                let lrow = &l.row(j)[lo..j];
+                let bhead = &mut brow[lo..j];
+                for (bv, lv) in bhead.iter_mut().zip(lrow) {
+                    *bv -= x * lv;
                 }
             }
         }

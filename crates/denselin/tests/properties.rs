@@ -1,7 +1,7 @@
 //! Property-based tests of the dense linear algebra substrate.
 
 use denselin::cholesky::{cholesky_blocked, cholesky_residual, random_spd};
-use denselin::gemm::{gemm, matmul};
+use denselin::gemm::{gemm, gemm_blocked, gemm_parallel, gemm_reference, matmul, GemmBlocking};
 use denselin::lu::{lu_blocked, lu_unblocked};
 use denselin::matrix::Matrix;
 use denselin::trsm::{trsm_lower_left, trsm_upper_left, trsm_upper_right};
@@ -46,6 +46,76 @@ proptest! {
         let lhs = matmul(&a, &b).transpose();
         let rhs = matmul(&b.transpose(), &a.transpose());
         prop_assert!(lhs.allclose(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference(
+        seed in 0u64..500,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        // the packed register-blocked kernel against the pre-rewrite scalar
+        // path, over shapes that force fringe tiles and partial panels
+        let a = rand_matrix(seed, m, k);
+        let b = rand_matrix(seed ^ 5, k, n);
+        let c0 = rand_matrix(seed ^ 6, m, n);
+        let mut packed = c0.clone();
+        gemm(&mut packed, alpha, &a, &b, beta);
+        let mut reference = c0.clone();
+        gemm_reference(&mut reference, alpha, &a, &b, beta);
+        prop_assert!(packed.allclose(&reference, 1e-10));
+    }
+
+    #[test]
+    fn awkward_blockings_agree(
+        seed in 0u64..500,
+        n in 1usize..32,
+        mc in 1usize..12,
+        kc in 1usize..12,
+        nc in 1usize..12,
+    ) {
+        // any blocking, however misaligned with the microkernel tile,
+        // produces the same result as the default
+        let a = rand_matrix(seed, n, n);
+        let b = rand_matrix(seed ^ 7, n, n);
+        let mut def = Matrix::zeros(n, n);
+        gemm(&mut def, 1.0, &a, &b, 0.0);
+        let mut odd = Matrix::zeros(n, n);
+        gemm_blocked(&mut odd, 1.0, &a, &b, 0.0, GemmBlocking { mc, kc, nc });
+        prop_assert!(odd.allclose(&def, 1e-11));
+    }
+
+    #[test]
+    fn parallel_tile_queue_is_bitwise_serial(
+        seed in 0u64..500,
+        m in 1usize..48,
+        n in 1usize..48,
+        threads in 1usize..6,
+    ) {
+        // the tile queue must not change the reduction order: results are
+        // bitwise identical to the serial path, not merely close
+        let k = 17;
+        let a = rand_matrix(seed, m, k);
+        let b = rand_matrix(seed ^ 8, k, n);
+        let mut serial = Matrix::zeros(m, n);
+        gemm(&mut serial, 1.0, &a, &b, 0.0);
+        let mut parallel = Matrix::zeros(m, n);
+        gemm_parallel(&mut parallel, 1.0, &a, &b, 0.0, threads);
+        prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn beta_zero_ignores_prior_contents(seed in 0u64..500, n in 1usize..24) {
+        // beta == 0 must overwrite, never read, C — NaN poison proves it
+        let a = rand_matrix(seed, n, n);
+        let b = rand_matrix(seed ^ 9, n, n);
+        let mut c = Matrix::from_fn(n, n, |_, _| f64::NAN);
+        gemm(&mut c, 1.0, &a, &b, 0.0);
+        prop_assert!(c.as_slice().iter().all(|x| x.is_finite()));
+        prop_assert!(c.allclose(&matmul(&a, &b), 1e-12));
     }
 
     #[test]
