@@ -41,6 +41,8 @@ pub struct CandmcConfig {
     pub mode: Mode,
     /// Seed (Phantom pivot synthesis).
     pub seed: u64,
+    /// Record a virtual-time event timeline ([`CandmcRun::timeline`]).
+    pub timeline: bool,
 }
 
 impl CandmcConfig {
@@ -52,6 +54,7 @@ impl CandmcConfig {
             grid,
             mode: Mode::Phantom,
             seed: 0xca4d,
+            timeline: false,
         }
     }
 
@@ -63,7 +66,14 @@ impl CandmcConfig {
             grid,
             mode: Mode::Dense,
             seed: 0xca4d,
+            timeline: false,
         }
+    }
+
+    /// Record a virtual-time event timeline (builder style).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
     }
 }
 
@@ -73,6 +83,8 @@ pub struct CandmcRun {
     pub stats: CommStats,
     /// Factors in packed form with the row permutation (Dense mode).
     pub factors: Option<denselin::lu::LuFactorization>,
+    /// Event timeline (only when `config.timeline` was set).
+    pub timeline: Option<simnet::trace::Trace>,
 }
 
 /// Run the CANDMC-like 2.5D LU.
@@ -84,6 +96,9 @@ pub fn factorize_candmc(cfg: &CandmcConfig, a: Option<&Matrix>) -> CandmcRun {
     let p = topo.ranks();
     let nb = n / v;
     let mut net = Network::new(p);
+    if cfg.timeline {
+        net.enable_timeline();
+    }
 
     let mut lu = a.cloned();
     if cfg.mode == Mode::Dense {
@@ -214,6 +229,13 @@ pub fn factorize_candmc(cfg: &CandmcConfig, a: Option<&Matrix>) -> CandmcRun {
                 }
             }
 
+            // analytic compute charge: 2·trailing²·v Schur GEMM flops over p
+            net.compute_all(
+                2.0 * (trailing * trailing) as f64 * v as f64 / p as f64,
+                "update",
+                "gemm",
+            );
+
             // ---- layered Schur accumulation: reduce the next panel
             // column (and pivot row candidates) across layers ----
             if c > 1 {
@@ -226,9 +248,11 @@ pub fn factorize_candmc(cfg: &CandmcConfig, a: Option<&Matrix>) -> CandmcRun {
     }
 
     let factors = lu.map(|m| denselin::lu::LuFactorization { lu: m, perm, sign });
+    let timeline = net.take_timeline();
     CandmcRun {
         stats: net.stats,
         factors,
+        timeline,
     }
 }
 

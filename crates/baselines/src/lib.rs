@@ -9,6 +9,23 @@
 //! All run on the same `simnet` simulated machine as COnfLUX and count
 //! communication the same way, so the comparisons of Figures 6–7 are
 //! apples-to-apples.
+//!
+//! # Example
+//!
+//! Count the 2D partial-pivoting baseline's traffic (Phantom mode) and
+//! observe the per-column pivot allreduce the paper's Section 7.3 latency
+//! argument targets:
+//!
+//! ```
+//! use baselines::lu2d::{factorize_2d, Lu2dConfig, Variant};
+//! use conflux::Mode;
+//!
+//! let cfg = Lu2dConfig::for_ranks(64, 4, Variant::LibSci, Mode::Phantom);
+//! let run = factorize_2d(&cfg, None);
+//! assert!(run.stats.sent_in_phase("panel:pivot-allreduce") > 0);
+//! // one pivot allreduce per matrix column: an O(N) latency chain
+//! assert!(run.stats.messages_in_phase("panel:pivot-allreduce") as usize >= 64);
+//! ```
 
 #![warn(missing_docs)]
 

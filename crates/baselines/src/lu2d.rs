@@ -48,6 +48,8 @@ pub struct Lu2dConfig {
     pub mode: Mode,
     /// Seed for synthetic pivots in Phantom mode.
     pub seed: u64,
+    /// Record a virtual-time event timeline ([`Lu2dRun::timeline`]).
+    pub timeline: bool,
 }
 
 impl Lu2dConfig {
@@ -69,7 +71,14 @@ impl Lu2dConfig {
             variant,
             mode,
             seed: 0x2d,
+            timeline: false,
         }
+    }
+
+    /// Record a virtual-time event timeline (builder style).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
     }
 
     /// Total ranks.
@@ -84,6 +93,8 @@ pub struct Lu2dRun {
     pub stats: CommStats,
     /// Factors (Dense mode): packed like [`denselin::lu::LuFactorization`].
     pub factors: Option<denselin::lu::LuFactorization>,
+    /// Event timeline (only when `config.timeline` was set).
+    pub timeline: Option<simnet::trace::Trace>,
 }
 
 /// Run the 2D algorithm.
@@ -93,6 +104,9 @@ pub fn factorize_2d(cfg: &Lu2dConfig, a: Option<&Matrix>) -> Lu2dRun {
     let p = pr * pc;
     let topo = Grid3D::new(pr, pc, 1);
     let mut net = Network::new(p);
+    if cfg.timeline {
+        net.enable_timeline();
+    }
     let map = BlockCyclic2D::new(n, n, cfg.nb, cfg.nb, pr, pc);
 
     let mut lu = a.cloned();
@@ -152,6 +166,14 @@ pub fn factorize_2d(cfg: &Lu2dConfig, a: Option<&Matrix>) -> Lu2dRun {
                 net.send(dst, src, b as u64, "panel:swap");
             }
         }
+        // analytic compute charge: the (n-kb)·b² panel flops are split over
+        // the pr ranks of the panel process column
+        if net.tracer.enabled() {
+            let flops = (n - kb) as f64 * (b * b) as f64 / pr as f64;
+            for &r in &col_group {
+                net.compute(r, flops, "panel:factor", "getrf");
+            }
+        }
 
         // ---- laswp: apply the b swaps across the rest of the matrix ----
         for (j, &piv) in panel_pivots.iter().enumerate() {
@@ -208,15 +230,23 @@ pub fn factorize_2d(cfg: &Lu2dConfig, a: Option<&Matrix>) -> Lu2dRun {
                 denselin::gemm::gemm_auto(&mut a11, -1.0, &l10, &a01, 1.0);
                 m.set_block(kb + b, kb + b, &a11);
             }
+            // analytic compute charge: 2·m·b·k GEMM flops over all p ranks
+            net.compute_all(
+                2.0 * trailing_rows as f64 * b as f64 * trailing_cols as f64 / p as f64,
+                "update",
+                "gemm",
+            );
         }
 
         kb += b;
     }
 
     let factors = lu.map(|m| denselin::lu::LuFactorization { lu: m, perm, sign });
+    let timeline = net.take_timeline();
     Lu2dRun {
         stats: net.stats,
         factors,
+        timeline,
     }
 }
 

@@ -19,6 +19,7 @@ use denselin::matrix::Matrix;
 use denselin::trsm::trsm_lower_left;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use simnet::trace::RankTracer;
 
 /// One measured kernel configuration.
 struct Entry {
@@ -74,6 +75,34 @@ fn main() {
         }
     }
 
+    // ---- disabled tracer overhead on the packed GEMM driver ----
+    // every hot path in the simulator calls `begin()`/`push_*` on a
+    // possibly-noop tracer; the disabled branch must cost nothing
+    {
+        let n = 512;
+        let a = Matrix::random(&mut rng, n, n);
+        let b = Matrix::random(&mut rng, n, n);
+        let mut c = Matrix::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        let reps = reps.max(4);
+        let mut tracer = RankTracer::noop();
+
+        // interleave the two variants so frequency/cache drift hits both
+        gemm(&mut c, 1.0, &a, &b, 0.0); // warm-up
+        let mut t_bare = f64::INFINITY;
+        let mut t_traced = f64::INFINITY;
+        for _ in 0..reps {
+            t_bare = t_bare.min(best_of(1, || gemm(&mut c, 1.0, &a, &b, 0.0)));
+            t_traced = t_traced.min(best_of(1, || {
+                let t0 = tracer.begin();
+                gemm(&mut c, 1.0, &a, &b, 0.0);
+                tracer.push_compute("perfsmoke", "gemm", t0);
+            }));
+        }
+        push(&mut entries, "gemm_untraced", n, 1, t_bare, flops);
+        push(&mut entries, "gemm_noop_traced", n, 1, t_traced, flops);
+    }
+
     // ---- TRSM (blocked forward substitution, packed rank-k updates) ----
     let trsm_sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
     for &n in trsm_sizes {
@@ -108,6 +137,9 @@ fn main() {
     }
 
     let speedup_512 = speedup(&entries, "gemm_packed", "gemm_reference", 512);
+    // seconds(traced)/seconds(untraced) - 1: the noop tracer's cost
+    let noop_overhead = speedup(&entries, "gemm_untraced", "gemm_noop_traced", 512)
+        .map(|gflops_ratio| gflops_ratio - 1.0);
     let parallel_scaling = speedup(
         &entries,
         "gemm_parallel",
@@ -135,6 +167,11 @@ fn main() {
         "  \"parallel_vs_serial\": {},",
         parallel_scaling.map_or("null".into(), |s| format!("{s:.3}"))
     );
+    let _ = writeln!(
+        json,
+        "  \"noop_tracer_overhead_n512\": {},",
+        noop_overhead.map_or("null".into(), |s| format!("{s:.4}"))
+    );
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -159,6 +196,25 @@ fn main() {
             }
             None => {
                 eprintln!("# check FAILED: missing N=512 measurements");
+                std::process::exit(1);
+            }
+        }
+        match noop_overhead {
+            Some(o) if o < 0.02 => {
+                println!(
+                    "# check OK: noop tracer overhead {:.2}% at N=512",
+                    o * 100.0
+                );
+            }
+            Some(o) => {
+                eprintln!(
+                    "# check FAILED: noop tracer costs {:.2}% on the packed gemm",
+                    o * 100.0
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("# check FAILED: missing noop-tracer measurements");
                 std::process::exit(1);
             }
         }

@@ -2,8 +2,25 @@
 //! figure of the paper's evaluation (Sections 8–9).
 //!
 //! The library half hosts the shared sweep machinery; the binaries
-//! (`table2`, `fig6a`, `fig6b`, `fig7`) print the paper's rows/series, and
-//! the Criterion benches time reduced-scale versions of the same sweeps.
+//! (`table2`, `fig6a`, `fig6b`, `fig7` for volumes, `tracecap` for event
+//! timelines and critical paths, `perfsmoke` for kernel GFLOP/s) print the
+//! paper's rows/series, and the Criterion benches time reduced-scale
+//! versions of the same sweeps.
+//!
+//! # Example
+//!
+//! One Fig. 6-style measurement point: COnfLUX volume at `(N, P)` in the
+//! paper's memory regime, compared against the Lemma 10 model:
+//!
+//! ```
+//! use conflux_bench::measure_conflux;
+//!
+//! let m = measure_conflux(256, 16);
+//! assert!(m.total_elements > 0);
+//! // the model tracks the measurement within a factor of two at small N
+//! let pct = m.prediction_pct();
+//! assert!(pct > 50.0 && pct < 200.0, "prediction {pct}%");
+//! ```
 
 #![warn(missing_docs)]
 

@@ -50,6 +50,10 @@ pub struct ConfluxConfig {
     pub seed: u64,
     /// Record a full communication trace (see `simnet::network::TraceEvent`).
     pub trace: bool,
+    /// Record a virtual-time event timeline (`simnet::trace::Trace`): every
+    /// send/recv/collective-step plus analytic compute regions, for
+    /// critical-path analysis and Perfetto export.
+    pub timeline: bool,
     /// Fault schedule applied to the run (default: no faults). Drop and
     /// duplicate events charge retransmission traffic; crash events trigger
     /// the failover path (`c > 1`) or a structured abort.
@@ -70,6 +74,7 @@ impl ConfluxConfig {
             bcast: BcastAlgo::Binomial,
             seed: 0x5eed,
             trace: false,
+            timeline: false,
             faults: FaultPlan::none(),
         }
     }
@@ -86,8 +91,15 @@ impl ConfluxConfig {
             bcast: BcastAlgo::Binomial,
             seed: 0x5eed,
             trace: false,
+            timeline: false,
             faults: FaultPlan::none(),
         }
+    }
+
+    /// Record a virtual-time event timeline (builder style).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
     }
 
     /// Install a fault schedule (builder style).
@@ -127,6 +139,10 @@ pub struct ConfluxRun {
     pub factors: Option<LuFactors>,
     /// Event trace (only when `config.trace` was set).
     pub trace: Option<Vec<simnet::network::TraceEvent>>,
+    /// Event timeline (only when `config.timeline` was set). Orchestrated
+    /// runs record deterministic virtual time; threaded runs record wall
+    /// time.
+    pub timeline: Option<simnet::trace::Trace>,
     /// Retransmissions performed for dropped messages (threaded backend;
     /// the orchestrated accountant folds retransmissions directly into
     /// `stats` and reports 0 here).
@@ -245,6 +261,9 @@ pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxR
     };
     net.bcast_algo = cfg.bcast;
     net.faults = cfg.faults.clone();
+    if cfg.timeline {
+        net.enable_timeline();
+    }
     // fault-tolerant mode: only entered when the plan can crash ranks, so
     // zero-fault runs charge exactly the baseline volumes
     let ft = !cfg.faults.crashes().is_empty();
@@ -403,6 +422,12 @@ pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxR
         if let (Some(a10m), Some(a00)) = (a10.as_mut(), dense_a00(&round)) {
             trsm_upper_right(a10m, a00, false);
         }
+        // analytic compute charge: n10·v² TRSM flops, 1D-split over p ranks
+        net.compute_all(
+            (rows10.len() * v * v) as f64 / p as f64,
+            "07:factorize-a10",
+            "trsm",
+        );
 
         // ---- Step 8: send factored A10 rows to layer kt ----
         let dst_cols: Vec<usize> = grid_cols_of_trailing(t, nb, q);
@@ -428,6 +453,8 @@ pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxR
         if let (Some(a01m), Some(a00)) = (a01.as_mut(), dense_a00(&round)) {
             trsm_lower_left(a00, a01m, true);
         }
+        // analytic compute charge: v²·m01 TRSM flops, 1D-split over p ranks
+        net.compute_all((v * v * m01) as f64 / p as f64, "09:factorize-a01", "trsm");
 
         // ---- Step 10: send factored A01 columns to layer kt ----
         let dst_rows: Vec<usize> = grid_rows_of_live(&live_groups, &pivset, q);
@@ -459,6 +486,16 @@ pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxR
                 offset += rows.len();
             }
         }
+        // analytic compute charge: the 2·n10·v·m01 Schur GEMM flops land on
+        // the q² ranks of replication layer kt
+        if net.tracer.enabled() && m01 > 0 && !rows10.is_empty() {
+            let flops = 2.0 * rows10.len() as f64 * v as f64 * m01 as f64 / (q * q) as f64;
+            for i in 0..q {
+                for j in 0..q {
+                    net.compute(topo.rank_of(i, j, kt), flops, "11:schur-update", "gemm");
+                }
+            }
+        }
 
         steps.push(StepOutput {
             pivots,
@@ -470,10 +507,12 @@ pub fn try_factorize(cfg: &ConfluxConfig, a: Option<&Matrix>) -> Result<ConfluxR
     }
 
     let factors = (cfg.mode == Mode::Dense).then(|| assemble(n, v, &steps));
+    let timeline = net.take_timeline();
     Ok(ConfluxRun {
         stats: net.stats,
         factors,
         trace: net.trace,
+        timeline,
         retries: 0,
         config: cfg.clone(),
     })

@@ -12,6 +12,24 @@
 //!
 //! Dense runs produce verifiable factors (`P·A ≈ L·U`); Phantom runs count
 //! identical volumes at paper scale without floating-point work ([`tiles`]).
+//!
+//! # Example
+//!
+//! Count COnfLUX's communication on a 2.5D grid of 8 ranks (Phantom mode:
+//! no numerics, exact volumes) and record an event timeline:
+//!
+//! ```
+//! use conflux::{factorize, ConfluxConfig, LuGrid};
+//!
+//! let grid = LuGrid::new(8, 2, 2); // [2, 2, 2]: q = 2, c = 2 layers
+//! let cfg = ConfluxConfig::phantom(32, 4, grid).with_timeline();
+//! let run = factorize(&cfg, None);
+//! assert!(run.stats.total_sent() > 0);
+//! assert!(run.stats.phases().contains(&"02:tournament"));
+//! // the timeline reconciles exactly with the accountant
+//! let trace = run.timeline.unwrap();
+//! assert_eq!(trace.rebuild_stats(), run.stats);
+//! ```
 
 #![warn(missing_docs)]
 

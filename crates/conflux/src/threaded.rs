@@ -174,9 +174,13 @@ pub fn try_factorize_threaded(
     let p = topo.ranks();
     let nb = n / v;
 
-    let sup = sup.with_faults(cfg.faults.clone());
-    let report = run_spmd_supervised(p, sup, |ctx| rank_program(ctx, cfg, a, &topo, nb));
+    let mut sup = sup.with_faults(cfg.faults.clone());
+    if cfg.timeline {
+        sup = sup.with_trace();
+    }
+    let mut report = run_spmd_supervised(p, sup, |ctx| rank_program(ctx, cfg, a, &topo, nb));
     let retries = report.retries;
+    let timeline = report.trace.take();
 
     match report.into_result() {
         Ok((shards, stats)) => {
@@ -185,6 +189,7 @@ pub fn try_factorize_threaded(
                 stats,
                 factors: Some(factors),
                 trace: None,
+                timeline,
                 retries,
                 config: cfg.clone(),
             })
@@ -459,7 +464,9 @@ fn rank_program(
 
         // ---- Step 7: FactorizeA10 locally: A10 <- A10 · U00^{-1} ----
         if a10_local.rows() > 0 {
-            trsm_upper_right(&mut a10_local, &a00, false);
+            ctx.compute("07:factorize-a10", "trsm", || {
+                trsm_upper_right(&mut a10_local, &a00, false)
+            });
         }
 
         // ---- Step 8: send factored A10 rows to layer kt ----
@@ -490,7 +497,9 @@ fn rank_program(
 
         // ---- Step 9: FactorizeA01 locally: A01 <- L00^{-1} · A01 ----
         if a01_local.cols() > 0 {
-            trsm_lower_left(&a00, &mut a01_local, true);
+            ctx.compute("09:factorize-a01", "trsm", || {
+                trsm_lower_left(&a00, &mut a01_local, true)
+            });
         }
 
         // ---- Step 10: send factored A01 columns to layer kt ----
@@ -528,34 +537,36 @@ fn rank_program(
 
         // ---- Step 11: local Schur update into my delta tiles ----
         if me.k == kt {
-            for (br, rows) in rows_by_block(&rows10, v) {
-                if br % q != me.i {
-                    continue;
-                }
-                let Some(lrows) = l_blocks.get(&br) else {
-                    continue;
-                };
-                let mut l = Matrix::zeros(rows.len(), v);
-                for (i, (rid, vals)) in lrows.iter().enumerate() {
-                    debug_assert_eq!(*rid, rows[i]);
-                    l.row_mut(i).copy_from_slice(vals);
-                }
-                for bc in t + 1..nb {
-                    if bc % q != me.j {
+            ctx.compute("11:schur-update", "gemm", || {
+                for (br, rows) in rows_by_block(&rows10, v) {
+                    if br % q != me.i {
                         continue;
                     }
-                    let Some(u) = u_blocks.get(&bc) else { continue };
-                    // local Schur product via the packed register-blocked gemm
-                    let prod = matmul(&l, u);
-                    let delta = tiles.delta.get_mut(&(br, bc)).unwrap();
-                    for (i, &r) in rows.iter().enumerate() {
-                        let lr = r % v;
-                        for col in 0..v {
-                            delta[(lr, col)] += prod[(i, col)];
+                    let Some(lrows) = l_blocks.get(&br) else {
+                        continue;
+                    };
+                    let mut l = Matrix::zeros(rows.len(), v);
+                    for (i, (rid, vals)) in lrows.iter().enumerate() {
+                        debug_assert_eq!(*rid, rows[i]);
+                        l.row_mut(i).copy_from_slice(vals);
+                    }
+                    for bc in t + 1..nb {
+                        if bc % q != me.j {
+                            continue;
+                        }
+                        let Some(u) = u_blocks.get(&bc) else { continue };
+                        // local Schur product via the packed register-blocked gemm
+                        let prod = matmul(&l, u);
+                        let delta = tiles.delta.get_mut(&(br, bc)).unwrap();
+                        for (i, &r) in rows.iter().enumerate() {
+                            let lr = r % v;
+                            for col in 0..v {
+                                delta[(lr, col)] += prod[(i, col)];
+                            }
                         }
                     }
                 }
-            }
+            });
         }
 
         // ---- collect this step's shard for assembly after the join ----

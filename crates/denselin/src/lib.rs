@@ -12,6 +12,21 @@
 //! * [`lu`] — partial-pivoting LU (unblocked + blocked right-looking),
 //! * [`tournament`] — communication-avoiding tournament pivoting,
 //! * [`blockcyclic`] — ScaLAPACK-style block-cyclic index arithmetic.
+//!
+//! # Example
+//!
+//! Factor a small matrix with blocked partial-pivoting LU and verify
+//! `P·A ≈ L·U` through the residual:
+//!
+//! ```
+//! use denselin::{lu_blocked, Matrix};
+//!
+//! let a = Matrix::from_fn(8, 8, |i, j| {
+//!     if i == j { 4.0 } else { 1.0 / (2.0 + i as f64 + j as f64) }
+//! });
+//! let f = lu_blocked(&a, 4).expect("well conditioned");
+//! assert!(f.residual(&a) < 1e-12);
+//! ```
 
 #![warn(missing_docs)]
 

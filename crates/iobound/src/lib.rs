@@ -16,6 +16,22 @@
 //! headline bound `2N³/(3P√M) + O(N²/P)`), MMM, Cholesky, and the §4.1/§4.2
 //! worked examples; [`verify`] cross-checks soundness against executable
 //! pebbling schedules from the `pebbling` crate.
+//!
+//! # Example
+//!
+//! The paper's Section 6 headline: sequential LU must move at least
+//! `≈ 2N³/(3√M)` elements between fast and slow memory:
+//!
+//! ```
+//! use iobound::{lu_bound, lu_bound_closed_form};
+//!
+//! let (n, m) = (1024.0, 4096.0);
+//! let bound = lu_bound(n, m);
+//! // the closed form agrees with the composed per-statement derivation
+//! let closed = lu_bound_closed_form(n, m);
+//! assert!((bound.q_total - closed).abs() / closed < 0.2);
+//! assert!(closed > 2.0 * n * n * n / (3.2 * m.sqrt()));
+//! ```
 
 #![warn(missing_docs)]
 

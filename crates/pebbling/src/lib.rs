@@ -13,6 +13,21 @@
 //! * [`partition`] — X-partition validation, greedy construction, and the
 //!   Lemma 1 bound,
 //! * [`schedule`] — blocked compute orders whose I/O approaches the bounds.
+//!
+//! # Example
+//!
+//! Play the red-blue pebble game on a small MMM cDAG with `M = 8` red
+//! pebbles and check the schedule is valid and complete:
+//!
+//! ```
+//! use pebbling::{execute, greedy_schedule, mmm_cdag};
+//!
+//! let dag = mmm_cdag(3);
+//! let moves = greedy_schedule(&dag, 8);
+//! let stats = execute(&dag, &moves, 8).expect("rules respected");
+//! assert!(stats.complete);
+//! assert!(stats.loads > 0);
+//! ```
 
 #![warn(missing_docs)]
 

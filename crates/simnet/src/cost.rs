@@ -7,6 +7,7 @@
 //! compared quantitatively.
 
 use crate::stats::{CommStats, Rank};
+use crate::trace::Trace;
 
 /// Latency–bandwidth machine parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -35,11 +36,28 @@ impl AlphaBeta {
         self.alpha * msgs + self.beta * elems
     }
 
-    /// The busiest rank's modeled time (a critical-path proxy).
+    /// The busiest rank's modeled time.
+    ///
+    /// **This is a per-rank *sum*, not a critical path.** It adds up every
+    /// message and element the busiest single rank touched, as if that rank
+    /// ran with zero waiting — dependencies *between* ranks are invisible
+    /// to it. A chain of sends relayed through `k` different ranks costs
+    /// one rank's share here but `k` shares on the real critical path, so
+    /// `max_rank_time` is a **lower bound** on
+    /// [`AlphaBeta::critical_path_time`]; the gap between them is the
+    /// latency hidden in cross-rank dependencies (see `tests/latency.rs`).
     pub fn max_rank_time(&self, stats: &CommStats) -> f64 {
         (0..stats.ranks())
             .map(|r| self.rank_time(stats, r))
             .fold(0.0, f64::max)
+    }
+
+    /// The true modeled critical path of a recorded [`Trace`]: the longest
+    /// `α·msgs + β·elems` (+ compute) chain through the happens-before
+    /// graph, as computed by [`Trace::critical_path_with`]. Always
+    /// `>= max_rank_time` of the same run's statistics.
+    pub fn critical_path_time(&self, trace: &Trace) -> f64 {
+        trace.critical_path_with(self).total_time()
     }
 
     /// Split the busiest rank's time into `(latency_part, bandwidth_part)`.

@@ -13,11 +13,33 @@
 //!   same algorithms run as genuine SPMD programs,
 //! * [`faults`] — seeded, reproducible fault plans (drop / delay /
 //!   duplicate / reorder / rank crash) consulted by both backends,
+//! * [`trace`] — timestamped event traces (per-rank timelines, a
+//!   happens-before critical-path analyzer, Chrome/Perfetto export)
+//!   recorded alongside the volume counters by both backends,
 //! * [`error`] — structured [`SimnetError`]s replacing library panics and
 //!   unbounded hangs.
 //!
 //! Both backends count identically under a zero fault plan, which the
 //! `conflux` crate and the cross-backend tests check.
+//!
+//! # Example: trace a run and measure its critical path
+//!
+//! ```
+//! use simnet::{AlphaBeta, Network};
+//!
+//! let mut net = Network::with_timeline(4);
+//! net.send(0, 1, 1024, "ring");
+//! net.send(1, 2, 1024, "ring");
+//! net.broadcast(&[0, 1, 2, 3], 256, "bcast");
+//!
+//! let trace = net.take_timeline().expect("timeline was enabled");
+//! // the trace reconciles exactly with the volume counters...
+//! assert_eq!(trace.rebuild_stats().phase_table(), net.stats.phase_table());
+//! // ...and the longest happens-before chain dominates every rank's local sum
+//! let cp = trace.critical_path();
+//! let model = AlphaBeta::aries_like();
+//! assert!(cp.total_time() >= model.max_rank_time(&net.stats));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -29,6 +51,7 @@ pub mod network;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
+pub mod trace;
 
 pub use cost::AlphaBeta;
 pub use error::{SimnetError, SimnetResult};
@@ -37,3 +60,4 @@ pub use network::{BcastAlgo, Network};
 pub use stats::{CommStats, Rank, ELEMENT_BYTES};
 pub use threaded::{run_spmd, run_spmd_supervised, RankCtx, SpmdFailure, SpmdReport, Supervisor};
 pub use topology::{icbrt, isqrt, squarest_2d, Coord3D, Grid3D};
+pub use trace::{ClockDomain, CriticalPath, Event, EventKind, RankTracer, Trace, Tracer};

@@ -13,6 +13,7 @@ use crate::collectives::{self, Volumes};
 use crate::error::{SimnetError, SimnetResult};
 use crate::faults::FaultPlan;
 use crate::stats::{CommStats, Rank};
+use crate::trace::{Trace, Tracer};
 
 /// Which broadcast algorithm to charge (ablation knob; the paper's
 /// implementations use tree-based collectives).
@@ -70,6 +71,11 @@ pub struct Network {
     /// numbering of the threaded backend so both backends query the plan
     /// with the same keys.
     p2p_seqs: HashMap<(Rank, Rank), u64>,
+    /// Timestamped event recorder ([`Tracer::noop`] by default; enable with
+    /// [`Network::with_timeline`] or [`Network::enable_timeline`]). Unlike
+    /// the legacy [`Network::trace`] event list, the tracer advances
+    /// per-rank virtual clocks and feeds the critical-path analyzer.
+    pub tracer: Tracer,
 }
 
 impl Network {
@@ -81,6 +87,7 @@ impl Network {
             trace: None,
             faults: FaultPlan::none(),
             p2p_seqs: HashMap::new(),
+            tracer: Tracer::noop(),
         }
     }
 
@@ -97,6 +104,45 @@ impl Network {
         let mut net = Self::new(p);
         net.faults = faults;
         net
+    }
+
+    /// A network that additionally records a virtual-time event timeline
+    /// (under the default `aries_like` α-β model); extract it afterwards
+    /// with [`Network::take_timeline`].
+    pub fn with_timeline(p: usize) -> Self {
+        let mut net = Self::new(p);
+        net.enable_timeline();
+        net
+    }
+
+    /// Start recording a virtual-time event timeline on this network
+    /// (idempotent; existing events are kept).
+    pub fn enable_timeline(&mut self) {
+        if !self.tracer.enabled() {
+            self.tracer = Tracer::virtual_time(self.ranks(), crate::cost::AlphaBeta::aries_like());
+        }
+    }
+
+    /// Extract the recorded timeline, disabling further recording.
+    /// `None` if the timeline was never enabled.
+    pub fn take_timeline(&mut self) -> Option<Trace> {
+        self.tracer.take()
+    }
+
+    /// Record a local compute region of `flops` floating-point operations on
+    /// one rank (a timeline-only annotation: no communication is charged).
+    pub fn compute(&mut self, rank: Rank, flops: f64, phase: &'static str, label: &'static str) {
+        self.tracer.compute(rank, flops, phase, label);
+    }
+
+    /// Record the same compute region on every rank (for work that is
+    /// uniformly distributed, e.g. a 1D-partitioned TRSM).
+    pub fn compute_all(&mut self, flops_per_rank: f64, phase: &'static str, label: &'static str) {
+        if self.tracer.enabled() {
+            for rank in 0..self.ranks() {
+                self.tracer.compute(rank, flops_per_rank, phase, label);
+            }
+        }
     }
 
     fn record_collective(
@@ -126,22 +172,26 @@ impl Network {
     /// Point-to-point message of `elems` elements.
     pub fn send(&mut self, src: Rank, dst: Rank, elems: u64, phase: &'static str) {
         self.stats.record(src, dst, elems, phase);
+        let mut drops = 0u64;
+        let mut duplicated = false;
         if src != dst && elems > 0 && !self.faults.is_zero() {
             let seq = self.p2p_seqs.entry((src, dst)).or_insert(0);
             let n = *seq;
             *seq += 1;
             // each lost attempt is retransmitted: sender pays again
-            let drops = self.faults.drops_for(src, dst, n) as u64;
+            drops = self.faults.drops_for(src, dst, n) as u64;
             if drops > 0 {
                 self.stats.charge(src, drops * elems, 0, drops, phase);
             }
             // a duplicated message crosses the wire twice, then the
             // receiver deduplicates — both sides pay for the extra copy
-            if self.faults.duplicates(src, dst, n) {
+            duplicated = self.faults.duplicates(src, dst, n);
+            if duplicated {
                 self.stats.charge(src, elems, 0, 1, phase);
                 self.stats.charge(dst, 0, elems, 0, phase);
             }
         }
+        self.tracer.p2p(src, dst, elems, phase, drops, duplicated);
         if let Some(t) = self.trace.as_mut() {
             if src != dst && elems > 0 {
                 t.push(TraceEvent::P2p {
@@ -161,7 +211,7 @@ impl Network {
             BcastAlgo::Binomial => collectives::binomial_broadcast(group.len(), elems),
             BcastAlgo::Flat => collectives::flat_broadcast(group.len(), elems),
         };
-        self.charge_group(group, &v, elems, phase);
+        self.charge_group("broadcast", group, &v, elems, phase);
     }
 
     /// Broadcast from an arbitrary member: `root` is rotated to the front of
@@ -189,7 +239,7 @@ impl Network {
     pub fn reduce(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
         self.record_collective(phase, "reduce", group, elems);
         let v = collectives::binomial_reduce(group.len(), elems);
-        self.charge_group(group, &v, elems, phase);
+        self.charge_group("reduce", group, &v, elems, phase);
     }
 
     /// Reduce onto an arbitrary member. Returns [`SimnetError::NotInGroup`]
@@ -216,28 +266,28 @@ impl Network {
     pub fn allreduce(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
         self.record_collective(phase, "allreduce", group, elems);
         let v = collectives::recursive_doubling_allreduce(group.len(), elems);
-        self.charge_group(group, &v, elems, phase);
+        self.charge_group("allreduce", group, &v, elems, phase);
     }
 
     /// Scatter distinct `elems_per_rank`-element chunks from `group[0]`.
     pub fn scatter(&mut self, group: &[Rank], elems_per_rank: u64, phase: &'static str) {
         self.record_collective(phase, "scatter", group, elems_per_rank);
         let v = collectives::scatter(group.len(), elems_per_rank);
-        self.charge_group(group, &v, elems_per_rank, phase);
+        self.charge_group("scatter", group, &v, elems_per_rank, phase);
     }
 
     /// Gather `elems_per_rank`-element chunks onto `group[0]`.
     pub fn gather(&mut self, group: &[Rank], elems_per_rank: u64, phase: &'static str) {
         self.record_collective(phase, "gather", group, elems_per_rank);
         let v = collectives::gather(group.len(), elems_per_rank);
-        self.charge_group(group, &v, elems_per_rank, phase);
+        self.charge_group("gather", group, &v, elems_per_rank, phase);
     }
 
     /// Ring allgather of `elems`-element contributions.
     pub fn allgather(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
         self.record_collective(phase, "allgather", group, elems);
         let v = collectives::ring_allgather(group.len(), elems);
-        self.charge_group(group, &v, elems, phase);
+        self.charge_group("allgather", group, &v, elems, phase);
     }
 
     /// Butterfly exchange of `elems` elements per round over `log2 |group|`
@@ -245,25 +295,42 @@ impl Network {
     pub fn butterfly(&mut self, group: &[Rank], elems: u64, phase: &'static str) {
         self.record_collective(phase, "butterfly", group, elems);
         let v = collectives::butterfly_exchange(group.len(), elems);
-        self.charge_group(group, &v, elems, phase);
+        self.charge_group("butterfly", group, &v, elems, phase);
     }
 
     /// Reduce-scatter with `elems_per_chunk`-element result chunks.
     pub fn reduce_scatter(&mut self, group: &[Rank], elems_per_chunk: u64, phase: &'static str) {
         self.record_collective(phase, "reduce-scatter", group, elems_per_chunk);
         let v = collectives::reduce_scatter(group.len(), elems_per_chunk);
-        self.charge_group(group, &v, elems_per_chunk, phase);
+        self.charge_group("reduce-scatter", group, &v, elems_per_chunk, phase);
     }
 
-    fn charge_group(&mut self, group: &[Rank], v: &Volumes, msg_elems: u64, phase: &'static str) {
+    fn charge_group(
+        &mut self,
+        op: &'static str,
+        group: &[Rank],
+        v: &Volumes,
+        msg_elems: u64,
+        phase: &'static str,
+    ) {
         debug_assert_eq!(group.len(), v.len());
-        for (&rank, &(sent, recv)) in group.iter().zip(v) {
-            let msgs = if msg_elems > 0 {
+        let msgs_of = |sent: u64| {
+            if msg_elems > 0 {
                 sent.div_ceil(msg_elems)
             } else {
                 0
-            };
-            self.stats.charge(rank, sent, recv, msgs, phase);
+            }
+        };
+        for (&rank, &(sent, recv)) in group.iter().zip(v) {
+            self.stats.charge(rank, sent, recv, msgs_of(sent), phase);
+        }
+        if self.tracer.enabled() {
+            let participants: Vec<(Rank, u64, u64, u64)> = group
+                .iter()
+                .zip(v)
+                .map(|(&rank, &(sent, recv))| (rank, sent, recv, msgs_of(sent)))
+                .collect();
+            self.tracer.collective(op, phase, &participants);
         }
     }
 }

@@ -43,7 +43,11 @@ impl Counter {
 }
 
 /// Full communication record of a simulated run.
-#[derive(Clone, Debug, Default)]
+///
+/// Two records compare equal iff every rank has the identical set of phases
+/// with identical counters — the equality the trace-reconciliation tests
+/// rely on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// `per_rank[r]` maps phase name -> counters for rank `r`.
     per_rank: Vec<BTreeMap<&'static str, Counter>>,
@@ -178,6 +182,17 @@ impl CommStats {
     /// Messages sent by one rank (all phases).
     pub fn messages_by(&self, r: Rank) -> u64 {
         self.per_rank[r].values().map(|c| c.messages).sum()
+    }
+
+    /// Counters of one (rank, phase) pair; all-zero if that pair was never
+    /// charged. This is the finest granularity the accountant keeps, used
+    /// to reconcile rebuilt statistics (e.g. from an event trace) exactly.
+    pub fn phase_counter(&self, r: Rank, phase: &str) -> Counter {
+        self.per_rank[r]
+            .iter()
+            .find(|(p, _)| **p == phase)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
     }
 
     /// Total messages sent in one phase, across ranks (a latency proxy:

@@ -30,9 +30,11 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::cost::AlphaBeta;
 use crate::error::{SimnetError, SimnetResult};
 use crate::faults::{FaultEvent, FaultPlan, RetryPolicy};
 use crate::stats::{CommStats, Rank};
+use crate::trace::{ClockDomain, Event, RankTracer, Trace};
 
 /// Poll granularity used only while a reorder-stashed message is parked in
 /// the pending queue (so its deferral decays even if no other traffic
@@ -73,6 +75,9 @@ pub struct Supervisor {
     /// operation is clamped to the remaining budget, so rank threads are
     /// guaranteed to join within (roughly) this deadline.
     pub deadline: Duration,
+    /// Record a wall-clock event timeline ([`SpmdReport::trace`]); all rank
+    /// timelines share the epoch taken when the region spawns.
+    pub trace: bool,
 }
 
 impl Default for Supervisor {
@@ -82,6 +87,7 @@ impl Default for Supervisor {
             retry: RetryPolicy::default(),
             recv_timeout: Duration::from_secs(5),
             deadline: Duration::from_secs(120),
+            trace: false,
         }
     }
 }
@@ -115,6 +121,12 @@ impl Supervisor {
         self.deadline = t;
         self
     }
+
+    /// Record a wall-clock event timeline on every rank.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 /// Per-rank handle inside an SPMD region: point-to-point operations plus the
@@ -136,6 +148,7 @@ pub struct RankCtx {
     seen: HashSet<(Rank, u64)>,
     retries: u64,
     fault_log: Vec<FaultEvent>,
+    tracer: RankTracer,
 }
 
 /// Raise a structured error as a panic so convenience (non-`try_`) methods
@@ -152,8 +165,14 @@ impl RankCtx {
         senders: Arc<Vec<Sender<Msg>>>,
         receiver: Receiver<Msg>,
         sup: Arc<Supervisor>,
+        epoch: Instant,
     ) -> Self {
         let deadline = Instant::now() + sup.deadline;
+        let tracer = if sup.trace {
+            RankTracer::wall(rank, epoch)
+        } else {
+            RankTracer::noop()
+        };
         RankCtx {
             rank,
             p,
@@ -167,6 +186,7 @@ impl RankCtx {
             seen: HashSet::new(),
             retries: 0,
             fault_log: Vec::new(),
+            tracer,
         }
     }
 
@@ -263,6 +283,7 @@ impl RankCtx {
         let plan = &self.sup.faults;
         let drops = plan.drops_for(self.rank, dst, seq);
         for attempt in 0..drops {
+            let t0 = self.tracer.begin();
             // the lost transmission is real traffic: charge it
             self.stats.charge(self.rank, data.len() as u64, 0, 1, phase);
             self.fault_log.push(FaultEvent::Dropped {
@@ -272,6 +293,8 @@ impl RankCtx {
                 attempt,
             });
             if attempt >= self.sup.retry.max_retries {
+                self.tracer
+                    .push_retransmit(dst, seq, data.len() as u64, phase, t0);
                 return Err(SimnetError::RetriesExhausted {
                     rank: self.rank,
                     dst,
@@ -280,6 +303,9 @@ impl RankCtx {
             }
             self.retries += 1;
             self.backoff_sleep(self.sup.retry.backoff(attempt + 1))?;
+            // the retransmission event spans the lost attempt + its backoff
+            self.tracer
+                .push_retransmit(dst, seq, data.len() as u64, phase, t0);
         }
         if let Some(by) = plan.delay_for(self.rank, dst, seq) {
             self.fault_log.push(FaultEvent::Delayed {
@@ -311,7 +337,8 @@ impl RankCtx {
                 seq,
             });
         }
-        for _ in 0..copies {
+        for copy in 0..copies {
+            let t0 = self.tracer.begin();
             self.stats.charge(self.rank, data.len() as u64, 0, 1, phase);
             self.senders[dst]
                 .send(Msg {
@@ -325,8 +352,31 @@ impl RankCtx {
                     rank: self.rank,
                     peer: dst,
                 })?;
+            if copy == 0 {
+                self.tracer
+                    .push_send(dst, seq, data.len() as u64, phase, t0);
+            } else {
+                // the duplicate's extra copy is fault overhead, not payload
+                self.tracer
+                    .push_retransmit(dst, seq, data.len() as u64, phase, t0);
+            }
         }
         Ok(())
+    }
+
+    /// Run `f` as a named compute region: when the supervisor records a
+    /// timeline, the region appears as a timestamped compute event on this
+    /// rank. With tracing off this is just `f()`.
+    pub fn compute<R>(
+        &mut self,
+        phase: &'static str,
+        label: &'static str,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let t0 = self.tracer.begin();
+        let out = f();
+        self.tracer.push_compute(phase, label, t0);
+        out
     }
 
     /// Send `data` to `dst` with matching `tag`. Panics (with a structured
@@ -374,16 +424,21 @@ impl RankCtx {
     /// Blocking receive bounded by `budget` (and the region deadline).
     fn recv_inner(&mut self, src: Rank, tag: u64, budget: Duration) -> SimnetResult<Vec<f64>> {
         let start = Instant::now();
+        let t0 = self.tracer.begin();
         loop {
             if let Some(msg) = self.take_pending(src, tag) {
                 if msg.src != self.rank {
                     let elems = msg.data.len() as u64;
                     self.stats.charge(self.rank, 0, elems, 0, msg.phase);
-                    if self.sup.faults.duplicates(msg.src, self.rank, msg.seq) {
+                    let duplicate = self.sup.faults.duplicates(msg.src, self.rank, msg.seq);
+                    if duplicate {
                         // the duplicate copy also crossed the wire into
                         // this rank before the dedup discarded it
                         self.stats.charge(self.rank, 0, elems, 0, msg.phase);
                     }
+                    // the recv event spans the wait from the first call
+                    self.tracer
+                        .push_recv(msg.src, msg.seq, elems, msg.phase, t0, duplicate);
                 }
                 return Ok(msg.data);
             }
@@ -859,6 +914,10 @@ pub struct SpmdReport<T> {
     pub fault_log: Vec<FaultEvent>,
     /// Wall-clock time from spawn to last join.
     pub elapsed: Duration,
+    /// Wall-clock event timeline (when [`Supervisor::trace`] is on):
+    /// events of every rank — including ranks that later failed — grouped
+    /// by rank, timestamped against the region's shared spawn epoch.
+    pub trace: Option<Trace>,
 }
 
 /// A supervised region that did not complete cleanly, with everything the
@@ -953,12 +1012,16 @@ where
         receivers.push(r);
     }
     let senders = Arc::new(senders);
+    let tracing = sup.trace;
     let sup = Arc::new(sup);
+    // shared trace epoch: every rank timeline is normalized to this t = 0
+    let epoch = Instant::now();
     type Slot<T> = Option<(
         SimnetResult<T>,
         CommStats,
         u64,
         Vec<FaultEvent>,
+        Vec<Event>,
         Receiver<Msg>,
     )>;
     let results: Mutex<Vec<Slot<T>>> = Mutex::new((0..p).map(|_| None).collect());
@@ -970,7 +1033,7 @@ where
             let f = &f;
             let results = &results;
             scope.spawn(move || {
-                let mut ctx = RankCtx::new(rank, p, senders, receiver, sup);
+                let mut ctx = RankCtx::new(rank, p, senders, receiver, sup, epoch);
                 // `ctx` lives outside the unwind boundary so the stats and
                 // fault log a dying rank accumulated survive the panic.
                 let out = match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
@@ -978,6 +1041,7 @@ where
                     Err(payload) => Err(error_from_panic(rank, payload)),
                 };
                 let log = std::mem::take(&mut ctx.fault_log);
+                let events = std::mem::take(&mut ctx.tracer).into_events();
                 // the receiver endpoint is parked in the result slot so it
                 // outlives this thread: a trailing transmission to a rank
                 // that already finished (a duplicate copy racing the
@@ -985,7 +1049,7 @@ where
                 // harmlessly instead of surfacing a spurious Disconnected
                 // on the sender
                 results.lock().unwrap()[rank] =
-                    Some((out, ctx.stats, ctx.retries, log, ctx.receiver));
+                    Some((out, ctx.stats, ctx.retries, log, events, ctx.receiver));
             });
         }
     });
@@ -994,20 +1058,29 @@ where
     let mut outs = Vec::with_capacity(p);
     let mut retries = 0;
     let mut fault_log = Vec::new();
+    let mut events = Vec::new();
     for slot in results.into_inner().unwrap() {
-        let (out, stats, rank_retries, log, _receiver) =
+        let (out, stats, rank_retries, log, rank_events, _receiver) =
             slot.expect("rank did not produce a result");
         merged.merge(&stats);
         retries += rank_retries;
         fault_log.extend(log);
+        events.extend(rank_events);
         outs.push(out);
     }
+    let trace = tracing.then(|| Trace {
+        p,
+        model: AlphaBeta::aries_like(),
+        clock: ClockDomain::Wall,
+        events,
+    });
     SpmdReport {
         results: outs,
         stats: merged,
         retries,
         fault_log,
         elapsed: start.elapsed(),
+        trace,
     }
 }
 

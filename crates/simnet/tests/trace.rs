@@ -1,0 +1,147 @@
+//! Integration invariants of the event-trace layer, over the public API:
+//! per-rank event ordering, send/recv causality in both clock domains,
+//! exact reconciliation against the accountant, and a golden-file check of
+//! the Chrome trace-event JSON schema.
+
+use simnet::network::Network;
+use simnet::threaded::{run_spmd_supervised, Supervisor};
+use simnet::trace::{ClockDomain, EventKind, Trace};
+
+/// A small deterministic traffic pattern touching every event kind.
+fn traced_pattern() -> (Network, Trace) {
+    let mut net = Network::with_timeline(4);
+    net.send(0, 1, 100, "phase-a");
+    net.send(1, 2, 50, "phase-a");
+    net.send(2, 3, 25, "phase-a");
+    net.broadcast(&[0, 1, 2, 3], 10, "phase-b");
+    net.allreduce(&[0, 1], 4, "phase-b");
+    net.compute_all(1e6, "phase-c", "gemm");
+    net.send(3, 0, 60, "phase-c");
+    let trace = net.take_timeline().expect("timeline enabled");
+    (net, trace)
+}
+
+#[test]
+fn per_rank_events_are_ordered_and_non_overlapping() {
+    let (_, trace) = traced_pattern();
+    for r in 0..trace.p {
+        let mut prev_end = f64::NEG_INFINITY;
+        for e in trace.events_of_rank(r) {
+            assert!(
+                e.t_start >= prev_end - 1e-12,
+                "rank {r}: event {:?} starts at {} before previous ended at {}",
+                e.kind,
+                e.t_start,
+                prev_end
+            );
+            assert!(e.t_end >= e.t_start, "negative duration");
+            prev_end = e.t_end;
+        }
+    }
+}
+
+#[test]
+fn virtual_recv_never_precedes_its_send() {
+    let (_, trace) = traced_pattern();
+    assert_eq!(trace.clock, ClockDomain::Virtual);
+    let mut matched = 0;
+    for e in &trace.events {
+        if let EventKind::Recv { peer } = e.kind {
+            let send = trace
+                .events
+                .iter()
+                .find(|s| {
+                    matches!(s.kind, EventKind::Send { peer: sp } if sp == e.rank)
+                        && s.rank == peer
+                        && s.seq == e.seq
+                })
+                .expect("every recv has a matching send");
+            assert!(
+                e.t_end >= send.t_end - 1e-12,
+                "recv finished at {} before its send finished at {}",
+                e.t_end,
+                send.t_end
+            );
+            matched += 1;
+        }
+    }
+    assert!(matched >= 4, "expected point-to-point recvs, saw {matched}");
+}
+
+#[test]
+fn wall_recv_never_precedes_its_send_start() {
+    // threaded backend: real threads stamp wall time against a shared
+    // epoch, so a message cannot be fully received before its sender
+    // started sending it
+    let report = run_spmd_supervised(4, Supervisor::default().with_trace(), |ctx| {
+        let next = (ctx.rank + 1) % 4;
+        let prev = (ctx.rank + 3) % 4;
+        ctx.try_send(next, 7, vec![1.0; 64], "ring")?;
+        let _ = ctx.try_recv_from(prev, 7)?;
+        Ok(())
+    });
+    let trace = report.trace.expect("tracing was on");
+    assert_eq!(trace.clock, ClockDomain::Wall);
+    let mut matched = 0;
+    for e in &trace.events {
+        if let EventKind::Recv { peer } = e.kind {
+            let send = trace
+                .events
+                .iter()
+                .find(|s| {
+                    matches!(s.kind, EventKind::Send { peer: sp } if sp == e.rank)
+                        && s.rank == peer
+                        && s.seq == e.seq
+                })
+                .expect("every recv has a matching send");
+            assert!(
+                e.t_end >= send.t_start,
+                "recv [{}, {}] completed before send began at {}",
+                e.t_start,
+                e.t_end,
+                send.t_start
+            );
+            matched += 1;
+        }
+    }
+    assert_eq!(matched, 4, "one recv per rank around the ring");
+}
+
+#[test]
+fn rebuilt_stats_reconcile_exactly_with_the_accountant() {
+    let (net, trace) = traced_pattern();
+    let rebuilt = trace.rebuild_stats();
+    assert_eq!(rebuilt, net.stats, "trace is a faithful second ledger");
+    assert_eq!(rebuilt.phase_table(), net.stats.phase_table());
+    for r in 0..trace.p {
+        for phase in ["phase-a", "phase-b", "phase-c"] {
+            assert_eq!(
+                rebuilt.phase_counter(r, phase),
+                net.stats.phase_counter(r, phase),
+                "rank {r} phase {phase}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_matches_golden_schema() {
+    // The exporter's output for the deterministic pattern is pinned to a
+    // golden file: any schema drift (field names, units, metadata records)
+    // must be a conscious change. Regenerate with
+    // `UPDATE_GOLDEN=1 cargo test -p simnet --test trace`.
+    let (_, trace) = traced_pattern();
+    let json = trace.to_chrome_trace();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        json, golden,
+        "Chrome trace-event output drifted from the golden file"
+    );
+}

@@ -3,6 +3,13 @@
 //! Re-exports every workspace crate so examples and integration tests can
 //! `use conflux_repro::...` a single dependency. See `README.md` for the
 //! tour and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
+//!
+//! let run = factorize(&ConfluxConfig::phantom(32, 4, LuGrid::new(8, 2, 2)), None);
+//! assert!(run.stats.total_sent() > 0);
+//! ```
 
 pub use baselines;
 pub use conflux;

@@ -55,6 +55,33 @@ fn phase_messages(stats: &conflux_repro::simnet::CommStats, phase: &str) -> u64 
 }
 
 #[test]
+fn max_rank_time_lower_bounds_the_critical_path() {
+    // `AlphaBeta::max_rank_time` sums the busiest rank's own traffic as if
+    // it never waited; the happens-before critical path additionally pays
+    // for cross-rank dependency chains. The sum must therefore be a strict
+    // lower bound on any run whose longest chain spans several ranks.
+    use conflux_repro::simnet::AlphaBeta;
+
+    let grid = LuGrid::new(16, 2, 4);
+    let run = factorize(&ConfluxConfig::phantom(256, 16, grid).with_timeline(), None);
+    let trace = run.timeline.expect("timeline requested");
+    let model = AlphaBeta::aries_like();
+
+    let per_rank_sum = model.max_rank_time(&run.stats);
+    let critical_path = model.critical_path_time(&trace);
+    assert!(
+        critical_path >= per_rank_sum * (1.0 - 1e-9),
+        "critical path {critical_path} cannot undercut the busiest rank's sum {per_rank_sum}"
+    );
+    // ...and in a real multi-step run the gap is real: chains relay through
+    // different ranks, so the path is strictly longer than any one rank's sum
+    assert!(
+        critical_path > per_rank_sum * 1.05,
+        "expected cross-rank latency to widen the gap: cp={critical_path} sum={per_rank_sum}"
+    );
+}
+
+#[test]
 fn missing_message_times_out_quickly_instead_of_hanging() {
     // a regression that loses a message must cost a bounded wait and a
     // structured error, not a hung test process

@@ -1,0 +1,98 @@
+//! The event timeline is a faithful second ledger: rebuilding statistics
+//! from a run's trace must reproduce the accountant's `CommStats` *exactly*
+//! — same phases, same per-rank counters — on both backends, and injected
+//! faults must be visible as retransmission events.
+
+use conflux_repro::conflux::{
+    factorize, factorize_threaded, try_factorize_threaded, ConfluxConfig, LuGrid, PivotChoice,
+};
+use conflux_repro::denselin::Matrix;
+use conflux_repro::simnet::trace::{ClockDomain, EventKind};
+use conflux_repro::simnet::{FaultPlan, Supervisor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn orchestrated_trace_reconciles_exactly() {
+    let grid = LuGrid::new(16, 2, 4);
+    let run = factorize(&ConfluxConfig::phantom(128, 8, grid).with_timeline(), None);
+    let trace = run.timeline.expect("timeline requested");
+    assert_eq!(trace.clock, ClockDomain::Virtual);
+    let rebuilt = trace.rebuild_stats();
+    assert_eq!(rebuilt, run.stats, "every phase counter must match");
+    assert_eq!(rebuilt.phase_table(), run.stats.phase_table());
+    // spot-check the finest granularity on a few (rank, phase) pairs
+    for r in 0..16 {
+        for phase in ["02:tournament", "06:scatter-a01", "10:send-a01"] {
+            assert_eq!(
+                rebuilt.phase_counter(r, phase),
+                run.stats.phase_counter(r, phase),
+                "rank {r} phase {phase}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_trace_reconciles_exactly() {
+    let n = 32;
+    let v = 4;
+    let grid = LuGrid::new(8, 2, 2);
+    let mut rng = StdRng::seed_from_u64(90);
+    let a = Matrix::random(&mut rng, n, n);
+    let cfg = ConfluxConfig::dense(n, v, grid).with_timeline();
+    let run = factorize_threaded(&cfg, &a).expect("fault-free run");
+    let trace = run.timeline.expect("timeline requested");
+    assert_eq!(trace.clock, ClockDomain::Wall);
+    let rebuilt = trace.rebuild_stats();
+    assert_eq!(rebuilt, run.stats, "threaded trace must reconcile too");
+    assert_eq!(rebuilt.phase_table(), run.stats.phase_table());
+}
+
+#[test]
+fn both_backends_trace_identical_volumes() {
+    // synthetic pivoting makes the two backends take identical decisions;
+    // the *traces* must then rebuild into identical ledgers even though
+    // one records virtual time and the other wall time
+    let n = 32;
+    let v = 4;
+    let grid = LuGrid::new(8, 2, 2);
+    let mut rng = StdRng::seed_from_u64(91);
+    let a = Matrix::random_diagonally_dominant(&mut rng, n);
+    let mut cfg = ConfluxConfig::dense(n, v, grid).with_timeline();
+    cfg.pivot_choice = PivotChoice::Synthetic;
+    let threaded = factorize_threaded(&cfg, &a).expect("fault-free run");
+    let orchestrated = factorize(&cfg, Some(&a));
+    let t1 = threaded.timeline.expect("threaded timeline");
+    let t2 = orchestrated.timeline.expect("orchestrated timeline");
+    assert_eq!(t1.rebuild_stats(), t2.rebuild_stats());
+}
+
+#[test]
+fn injected_drops_appear_as_retransmit_events() {
+    let n = 32;
+    let v = 4;
+    let grid = LuGrid::new(8, 2, 2);
+    let mut rng = StdRng::seed_from_u64(92);
+    let a = Matrix::random(&mut rng, n, n);
+    let cfg = ConfluxConfig::dense(n, v, grid)
+        .with_timeline()
+        .with_faults(FaultPlan::new(7).with_drop_rate(0.05));
+    let run =
+        try_factorize_threaded(&cfg, &a, Supervisor::default()).expect("retries absorb drops");
+    assert!(run.retries > 0, "the drop plan must actually fire");
+    let trace = run.timeline.expect("timeline requested");
+    let retransmits = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Retransmit { .. }))
+        .count();
+    assert!(
+        retransmits as u64 >= run.retries,
+        "every retry must leave a retransmit event: {retransmits} events, {} retries",
+        run.retries
+    );
+    // the retransmitted traffic is part of the ledger, so reconciliation
+    // still holds exactly
+    assert_eq!(trace.rebuild_stats(), run.stats);
+}
