@@ -1,0 +1,243 @@
+//! `servload` — load generator for the `solversrv` factor-and-solve
+//! service.
+//!
+//! Two experiments, one JSON artifact (`BENCH_service.json`):
+//!
+//! * **hot** — closed-loop clients hammering one cached factor at
+//!   concurrency 1 vs 8. Concurrent same-factor requests coalesce into
+//!   multi-RHS batches, so the factor streams from memory once per batch
+//!   instead of once per request: the throughput ratio is the batching
+//!   win (`--check` gates it at ≥ 2x).
+//! * **zipf** — a multi-tenant popularity-skewed workload (Zipf `s = 1.1`
+//!   over many matrices) against a deliberately undersized factor cache;
+//!   the steady-state cache hit rate is the amortization the service
+//!   exists to deliver (`--check` gates it at > 0.5).
+//!
+//! Usage: `cargo run --release -p conflux-bench --bin servload --
+//! [--quick] [--check] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use denselin::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::RetryPolicy;
+use solversrv::{serve, solve_with_retry, MatrixKind, ServiceConfig, SolveRequest};
+
+struct HotResult {
+    concurrency: usize,
+    requests: u64,
+    rps: f64,
+    mean_batch: f64,
+    max_batch: usize,
+    p99_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+
+    // ---- hot: batching win on one cached factor ----
+    let hot_n = if quick { 384 } else { 768 };
+    let per_client = if quick { 40 } else { 60 };
+    println!("# servload hot: n={hot_n}, {per_client} requests/client, 2 workers");
+    let hot: Vec<HotResult> = [1usize, 8]
+        .iter()
+        .map(|&conc| hot_run(hot_n, conc, per_client))
+        .collect();
+    let batching_speedup = hot[1].rps / hot[0].rps;
+    println!(
+        "# batching speedup: {batching_speedup:.2}x (conc 8 {:.0} rps vs conc 1 {:.0} rps, mean batch {:.2})",
+        hot[1].rps, hot[0].rps, hot[1].mean_batch
+    );
+
+    // ---- zipf: cache hit rate under popularity skew ----
+    let zipf_s = 1.1;
+    let tenants = if quick { 16 } else { 32 };
+    let zipf_n = 192;
+    let zipf_per_client = if quick { 25 } else { 50 };
+    let zipf_clients = 8;
+    println!(
+        "# servload zipf: s={zipf_s}, {tenants} matrices of n={zipf_n}, {zipf_clients}x{zipf_per_client} requests"
+    );
+    let (hit_rate, evictions, zipf_rps, zipf_requests) =
+        zipf_run(zipf_s, tenants, zipf_n, zipf_clients, zipf_per_client);
+    println!(
+        "# zipf hit rate: {:.1}% ({} evictions, {:.0} rps)",
+        100.0 * hit_rate,
+        evictions,
+        zipf_rps
+    );
+
+    // ---- render BENCH_service.json (hand-rolled: no serde in-tree) ----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_service/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"hot\": {{");
+    let _ = writeln!(json, "    \"n\": {hot_n},");
+    let _ = writeln!(json, "    \"batching_speedup\": {batching_speedup:.3},");
+    json.push_str("    \"runs\": [\n");
+    for (i, r) in hot.iter().enumerate() {
+        let comma = if i + 1 < hot.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"concurrency\": {}, \"requests\": {}, \"rps\": {:.1}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_ms\": {:.3} }}{comma}",
+            r.concurrency, r.requests, r.rps, r.mean_batch, r.max_batch, r.p99_ms
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(json, "  \"zipf\": {{");
+    let _ = writeln!(json, "    \"s\": {zipf_s},");
+    let _ = writeln!(json, "    \"matrices\": {tenants},");
+    let _ = writeln!(json, "    \"n\": {zipf_n},");
+    let _ = writeln!(json, "    \"requests\": {zipf_requests},");
+    let _ = writeln!(json, "    \"hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "    \"evictions\": {evictions},");
+    let _ = writeln!(json, "    \"rps\": {zipf_rps:.1}");
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    println!("# wrote {out_path}");
+
+    if check {
+        if batching_speedup >= 2.0 {
+            println!("# check OK: batching gives {batching_speedup:.2}x at concurrency 8");
+        } else {
+            eprintln!("# check FAILED: batching speedup {batching_speedup:.2}x < 2.0x");
+            std::process::exit(1);
+        }
+        if hit_rate > 0.5 {
+            println!("# check OK: zipf hit rate {:.1}% > 50%", 100.0 * hit_rate);
+        } else {
+            eprintln!(
+                "# check FAILED: zipf hit rate {:.1}% <= 50%",
+                100.0 * hit_rate
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Closed-loop clients against a single pre-warmed factor.
+fn hot_run(n: usize, concurrency: usize, per_client: usize) -> HotResult {
+    let mut rng = StdRng::seed_from_u64(7001);
+    let a = Matrix::random_diagonally_dominant(&mut rng, n);
+    let b = Matrix::random(&mut rng, n, 1);
+    let cfg = ServiceConfig {
+        workers: 2,
+        max_queue: 256, // generous: this phase measures batching, not admission
+        ..ServiceConfig::default()
+    };
+    let policy = RetryPolicy {
+        max_retries: 10_000,
+        ..RetryPolicy::default()
+    };
+    let (elapsed_s, report) = serve(cfg, |h| {
+        h.register_matrix(1, a.clone(), MatrixKind::General);
+        h.solve(SolveRequest::new(1, b.clone())).unwrap(); // warm the factor
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..concurrency {
+                s.spawn(|| {
+                    for _ in 0..per_client {
+                        solve_with_retry(h, &SolveRequest::new(1, b.clone()), &policy)
+                            .expect("hot request failed");
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    });
+    let requests = (concurrency * per_client) as u64;
+    let r = HotResult {
+        concurrency,
+        requests,
+        rps: requests as f64 / elapsed_s,
+        mean_batch: report.stats.mean_batch(),
+        max_batch: report.stats.max_batch,
+        p99_ms: report.stats.p99_latency.as_secs_f64() * 1e3,
+    };
+    println!(
+        "servload hot   conc={:<2} {:>6} req  {:>9.1} rps  mean_batch={:.2} max_batch={} p99={:.3} ms",
+        r.concurrency, r.requests, r.rps, r.mean_batch, r.max_batch, r.p99_ms
+    );
+    r
+}
+
+/// Popularity-skewed multi-tenant load against an undersized cache.
+fn zipf_run(
+    s: f64,
+    tenants: usize,
+    n: usize,
+    clients: usize,
+    per_client: usize,
+) -> (f64, u64, f64, u64) {
+    // register `tenants` distinct matrices; size the cache for ~1/3 of them
+    let factor_bytes = n * n * std::mem::size_of::<f64>() + n * std::mem::size_of::<usize>();
+    let cfg = ServiceConfig {
+        workers: 2,
+        max_queue: 256,
+        cache_budget_bytes: factor_bytes * tenants / 3 + factor_bytes / 2,
+        ..ServiceConfig::default()
+    };
+    // inverse-CDF Zipf sampler: weight of tenant i ∝ 1/(i+1)^s
+    let weights: Vec<f64> = (0..tenants)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+    let policy = RetryPolicy {
+        max_retries: 10_000,
+        ..RetryPolicy::default()
+    };
+    let completed = AtomicU64::new(0);
+    let (elapsed_s, report) = serve(cfg, |h| {
+        let mut rng = StdRng::seed_from_u64(9000);
+        for id in 0..tenants as u64 {
+            let a = Matrix::random_diagonally_dominant(&mut rng, n);
+            h.register_matrix(id, a, MatrixKind::General);
+        }
+        let start = Instant::now();
+        std::thread::scope(|sc| {
+            for c in 0..clients {
+                let cdf = &cdf;
+                let completed = &completed;
+                let policy = &policy;
+                sc.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(9100 + c as u64);
+                    let mut rhs_rng = StdRng::seed_from_u64(9200 + c as u64);
+                    for _ in 0..per_client {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        let id = cdf.partition_point(|&p| p < u).min(cdf.len() - 1) as u64;
+                        let b = Matrix::random(&mut rhs_rng, n, 1);
+                        solve_with_retry(h, &SolveRequest::new(id, b), policy)
+                            .expect("zipf request failed");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    });
+    let requests = completed.load(Ordering::Relaxed);
+    assert_eq!(requests, report.stats.completed, "no silent drops");
+    (
+        report.stats.hit_rate(),
+        report.stats.cache_evictions,
+        requests as f64 / elapsed_s,
+        requests,
+    )
+}

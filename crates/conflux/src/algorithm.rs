@@ -128,6 +128,27 @@ impl LuFactors {
         let recon = self.l.matmul(&self.u);
         pa.sub(&recon).frobenius_norm() / a.frobenius_norm().max(f64::MIN_POSITIVE)
     }
+
+    /// Pack the explicit `L`/`U` factors into a reusable
+    /// [`LuFactorization`](denselin::lu::LuFactorization) handle — the
+    /// LAPACK-style `L\U` form every serial solve/refinement path in
+    /// `denselin` consumes. This is how a distributed COnfLUX factorization
+    /// enters a factor cache (e.g. solversrv) and then serves arbitrarily
+    /// many cheap local solves.
+    pub fn to_factorization(&self) -> denselin::lu::LuFactorization {
+        let (m, n) = self.l.shape();
+        let mut lu = self.u.clone();
+        for i in 0..m {
+            for j in 0..i.min(n) {
+                lu[(i, j)] = self.l[(i, j)];
+            }
+        }
+        denselin::lu::LuFactorization {
+            lu,
+            perm: self.perm.clone(),
+            sign: denselin::lu::permutation_sign(&self.perm),
+        }
+    }
 }
 
 /// Result of a COnfLUX run.
@@ -830,6 +851,24 @@ mod tests {
         let (a, run) = dense_run(32, 4, 2, 2, 3);
         let f = run.factors.unwrap();
         assert!(f.residual(&a) < 1e-10, "residual {}", f.residual(&a));
+    }
+
+    #[test]
+    fn packed_factorization_handle_solves() {
+        // the reusable L\U handle must reconstruct and solve like the
+        // explicit factors it was packed from
+        let (a, run) = dense_run(32, 4, 2, 2, 5);
+        let f = run.factors.unwrap();
+        let packed = f.to_factorization();
+        assert!(packed.residual(&a) < 1e-10);
+        let mut rng = StdRng::seed_from_u64(55);
+        let x_true = Matrix::random(&mut rng, 32, 3);
+        let b = a.matmul(&x_true);
+        assert!(packed.solve(&b).allclose(&x_true, 1e-7));
+        // packed L\U agrees entry-wise with the explicit factors
+        assert_eq!(packed.perm, f.perm);
+        assert!(packed.lu.unit_lower().allclose(&f.l, 1e-14));
+        assert!(packed.lu.upper().allclose(&f.u, 1e-14));
     }
 
     #[test]

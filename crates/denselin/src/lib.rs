@@ -48,5 +48,5 @@ pub use gemm::{gemm, gemm_auto, gemm_parallel, matmul, GemmBlocking};
 pub use lu::{lu_blocked, lu_unblocked, LuFactorization, SingularMatrix};
 pub use matrix::Matrix;
 pub use qr::{qr_householder, tsqr, QrFactorization};
-pub use refine::solve_refined;
+pub use refine::{solve_refined, Refinement};
 pub use tournament::{tournament_pivots, PivotSelection};

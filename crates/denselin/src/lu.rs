@@ -239,12 +239,36 @@ impl LuFactorization {
         det
     }
 
-    /// Solve `A x = b` for each column of `b`.
+    /// Solve `A x = b` for all columns of `b` at once.
+    ///
+    /// Multi-RHS solves go through the blocked [`trsm_lower_left`] /
+    /// [`trsm_upper_left`] kernels, whose trailing updates are single
+    /// `gemm_auto` calls over the whole RHS block — `k` right-hand sides
+    /// reread the factor once, not `k` times. Allocates the result; use
+    /// [`solve_into`](Self::solve_into) to reuse a caller-provided buffer
+    /// (the solversrv batching path needs both).
     pub fn solve(&self, b: &Matrix) -> Matrix {
-        let mut y = b.gather_rows(&self.perm);
-        trsm_lower_left(&self.lu, &mut y, true);
-        trsm_upper_left(&self.lu, &mut y, false);
+        let mut y = Matrix::zeros(b.rows(), b.cols());
+        self.solve_into(b, &mut y);
         y
+    }
+
+    /// [`solve`](Self::solve) into a caller-provided buffer: `out` is
+    /// overwritten with `x` and no intermediate matrix is allocated. The
+    /// result is bitwise-identical to `solve` (same permutation gather,
+    /// same blocked triangular sweeps).
+    ///
+    /// # Panics
+    /// Panics if `out` and `b` shapes differ or `b.rows()` does not match
+    /// the factored order.
+    pub fn solve_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(out.shape(), b.shape(), "output buffer shape must match b");
+        assert_eq!(b.rows(), self.perm.len(), "rhs rows must match the factor");
+        for (i, &src) in self.perm.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(b.row(src));
+        }
+        trsm_lower_left(&self.lu, out, true);
+        trsm_upper_left(&self.lu, out, false);
     }
 }
 
@@ -327,6 +351,30 @@ mod tests {
         let b = a.matmul(&x);
         let f = lu_blocked(&a, 8).unwrap();
         assert!(f.solve(&b).allclose(&x, 1e-8));
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let mut rng = StdRng::seed_from_u64(38);
+        for (n, nrhs) in [(1, 1), (17, 3), (60, 8), (130, 1)] {
+            let a = Matrix::random(&mut rng, n, n);
+            let b = Matrix::random(&mut rng, n, nrhs);
+            let f = lu_blocked(&a, 16).unwrap();
+            let x1 = f.solve(&b);
+            let mut x2 = Matrix::zeros(n, nrhs);
+            f.solve_into(&b, &mut x2);
+            assert_eq!(x1.as_slice(), x2.as_slice(), "n={n} nrhs={nrhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer shape")]
+    fn solve_into_rejects_bad_buffer() {
+        let a = Matrix::identity(4);
+        let f = lu_unblocked(&a).unwrap();
+        let b = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(4, 3);
+        f.solve_into(&b, &mut out);
     }
 
     #[test]

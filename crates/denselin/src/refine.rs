@@ -16,13 +16,37 @@ pub struct Refinement {
     /// The refined solution.
     pub x: Matrix,
     /// Relative residual `‖b − A·x‖_F/‖b‖_F` after each sweep (index 0 =
-    /// initial solve).
+    /// initial solve). Callers that degrade to refinement (e.g. the
+    /// solversrv tolerance path) report this history to explain *why* the
+    /// request refined and how fast it converged.
     pub residual_history: Vec<f64>,
+    /// Whether the final residual met the requested tolerance.
+    pub converged: bool,
 }
 
-/// Solve `A·x = b` with `max_sweeps` refinement sweeps, stopping early when
-/// the residual stops improving.
-pub fn solve_refined(a: &Matrix, f: &LuFactorization, b: &Matrix, max_sweeps: usize) -> Refinement {
+impl Refinement {
+    /// The relative residual of the returned solution.
+    pub fn final_residual(&self) -> f64 {
+        *self.residual_history.last().expect("history never empty")
+    }
+
+    /// Refinement sweeps actually performed (0 = initial solve sufficed).
+    pub fn sweeps(&self) -> usize {
+        self.residual_history.len() - 1
+    }
+}
+
+/// Solve `A·x = b` with at most `max_sweeps` refinement sweeps, stopping
+/// early as soon as the relative residual drops to `tol` (pass `0.0` to
+/// always sweep until the residual stops improving, the pre-tolerance
+/// behavior).
+pub fn solve_refined(
+    a: &Matrix,
+    f: &LuFactorization,
+    b: &Matrix,
+    max_sweeps: usize,
+    tol: f64,
+) -> Refinement {
     let bnorm = b.frobenius_norm().max(f64::MIN_POSITIVE);
     let mut x = f.solve(b);
     let mut history = Vec::with_capacity(max_sweeps + 1);
@@ -36,7 +60,7 @@ pub fn solve_refined(a: &Matrix, f: &LuFactorization, b: &Matrix, max_sweeps: us
 
     let (mut r, mut rn) = residual(&x);
     history.push(rn);
-    for _ in 0..max_sweeps {
+    while rn > tol && history.len() <= max_sweeps {
         let dx = f.solve(&r);
         let candidate = x.add(&dx);
         let (r2, rn2) = residual(&candidate);
@@ -51,6 +75,7 @@ pub fn solve_refined(a: &Matrix, f: &LuFactorization, b: &Matrix, max_sweeps: us
     let _ = r;
     Refinement {
         x,
+        converged: rn <= tol,
         residual_history: history,
     }
 }
@@ -71,7 +96,7 @@ mod tests {
         let x_true = Matrix::random(&mut rng, n, 1);
         let b = a.matmul(&x_true);
         let f = lu_unblocked(&a).unwrap();
-        let ref_out = solve_refined(&a, &f, &b, 3);
+        let ref_out = solve_refined(&a, &f, &b, 3, 0.0);
         let hist = &ref_out.residual_history;
         for w in hist.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-12), "residual increased: {hist:?}");
@@ -98,8 +123,8 @@ mod tests {
         };
         let x_true = Matrix::random(&mut rng, n, 1);
         let b = a.matmul(&x_true);
-        let out = solve_refined(&a, &f, &b, 10);
-        let final_res = *out.residual_history.last().unwrap();
+        let out = solve_refined(&a, &f, &b, 10, 0.0);
+        let final_res = out.final_residual();
         let initial_res = out.residual_history[0];
         assert!(
             final_res <= initial_res,
@@ -113,9 +138,27 @@ mod tests {
         let a = Matrix::identity(6);
         let f = lu_unblocked(&a).unwrap();
         let b = Matrix::from_fn(6, 1, |i, _| i as f64);
-        let out = solve_refined(&a, &f, &b, 5);
+        let out = solve_refined(&a, &f, &b, 5, 0.0);
         assert!(out.residual_history[0] < 1e-15);
         assert!(out.residual_history.len() <= 2);
         assert!(out.x.allclose(&b, 1e-14));
+    }
+
+    #[test]
+    fn tolerance_short_circuits_sweeps() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let n = 32;
+        let a = Matrix::random_diagonally_dominant(&mut rng, n);
+        let b = Matrix::random(&mut rng, n, 1);
+        let f = lu_unblocked(&a).unwrap();
+        // a loose tolerance is met by the initial solve: zero sweeps
+        let loose = solve_refined(&a, &f, &b, 8, 1e-6);
+        assert!(loose.converged);
+        assert_eq!(loose.sweeps(), 0);
+        // an unreachable tolerance sweeps until stagnation and reports it
+        let strict = solve_refined(&a, &f, &b, 8, 0.0);
+        assert!(!strict.converged || strict.final_residual() == 0.0);
+        assert!(strict.final_residual() <= loose.final_residual());
+        assert_eq!(strict.sweeps(), strict.residual_history.len() - 1);
     }
 }

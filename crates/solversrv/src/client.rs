@@ -1,0 +1,73 @@
+//! Client-side retry helper for overloaded services.
+//!
+//! Admission control turns overload into an explicit, immediate
+//! [`SolveError::Overloaded`] instead of unbounded queueing; the polite
+//! client response is capped exponential backoff — exactly the machinery
+//! [`simnet::RetryPolicy`] already provides for faulty-network
+//! retransmission, reused here unchanged.
+
+use simnet::RetryPolicy;
+
+use crate::api::{SolveError, SolveRequest, SolveResponse};
+use crate::service::SolverHandle;
+
+/// Submit `req`, retrying with exponential backoff while the service
+/// reports [`SolveError::Overloaded`]. Any other outcome (success or a
+/// different error) returns immediately; an overload that persists past
+/// `policy.max_retries` attempts is returned as-is.
+pub fn solve_with_retry(
+    handle: &SolverHandle,
+    req: &SolveRequest,
+    policy: &RetryPolicy,
+) -> Result<SolveResponse, SolveError> {
+    let mut attempt = 0u32;
+    loop {
+        match handle.solve(req.clone()) {
+            Err(SolveError::Overloaded { .. }) if attempt < policy.max_retries => {
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::MatrixKind;
+    use crate::service::{serve, ServiceConfig};
+    use denselin::Matrix;
+
+    #[test]
+    fn retry_succeeds_through_transient_overload() {
+        // one worker, a queue of one: a burst of submissions from a single
+        // client thread cannot overload it, but the retry path still has
+        // to terminate and return the answer
+        let cfg = ServiceConfig {
+            workers: 1,
+            max_queue: 1,
+            ..ServiceConfig::default()
+        };
+        let a = Matrix::from_fn(8, 8, |i, j| if i == j { 3.0 } else { 0.1 });
+        let b = Matrix::from_fn(8, 1, |i, _| 1.0 + i as f64);
+        let ((), report) = serve(cfg, |h| {
+            h.register_matrix(1, a.clone(), MatrixKind::General);
+            let policy = RetryPolicy::default();
+            for _ in 0..8 {
+                let resp = solve_with_retry(h, &SolveRequest::new(1, b.clone()), &policy).unwrap();
+                assert!(resp.residual <= 1e-10);
+            }
+        });
+        assert_eq!(report.stats.completed, 8);
+    }
+
+    #[test]
+    fn non_overload_errors_return_immediately() {
+        let ((), _) = serve(ServiceConfig::default(), |h| {
+            let req = SolveRequest::new(99, Matrix::zeros(4, 1));
+            let err = solve_with_retry(h, &req, &RetryPolicy::default()).unwrap_err();
+            assert_eq!(err, SolveError::UnknownMatrix { matrix_id: 99 });
+        });
+    }
+}

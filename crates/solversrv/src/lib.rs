@@ -1,0 +1,60 @@
+//! `solversrv` — a multi-tenant batched factor-and-solve service.
+//!
+//! Every other entry point in this repo is a one-shot driver: factor a
+//! matrix, print stats, exit. This crate is the serving layer on top of the
+//! same kernels — the natural unit of production traffic for a
+//! communication-avoiding factorization is *many cheap solves amortizing
+//! one expensive factorization*, and the service is built around exactly
+//! that asymmetry:
+//!
+//! * [`api`] — typed requests ([`SolveRequest`]), responses
+//!   ([`SolveResponse`]) and errors ([`SolveError`]),
+//! * [`fingerprint`] — content-addressed matrix identity (dims + FNV-1a
+//!   over the element bit patterns),
+//! * [`cache`] — a byte-budgeted LRU of [`denselin::LuFactorization`]s
+//!   (and Cholesky factors for SPD-tagged matrices),
+//! * [`service`] — the worker pool: bounded submission queue, admission
+//!   control (`Err(Overloaded)` fast-fail), per-request deadlines, and
+//!   **RHS batching** — concurrent solves against the same cached factor
+//!   coalesce into one multi-RHS blocked-`trsm` pass so the factor is
+//!   streamed from memory once instead of once per request,
+//! * [`stats`] — [`ServiceStats`] latency/throughput/cache snapshots,
+//! * [`client`] — retry/backoff submission helper reusing
+//!   [`simnet::RetryPolicy`].
+//!
+//! Cold factorizations of sufficiently large matrices can optionally route
+//! through the real distributed driver ([`conflux::factorize_threaded`])
+//! via [`DistributedConfig`]; the resulting [`conflux::LuFactors`] handle
+//! converts into the same cached [`denselin::LuFactorization`] shape.
+//!
+//! # Example
+//!
+//! ```
+//! use denselin::Matrix;
+//! use solversrv::{serve, MatrixKind, ServiceConfig, SolveRequest};
+//!
+//! let a = Matrix::from_fn(16, 16, |i, j| if i == j { 4.0 } else { 0.25 });
+//! let b = Matrix::from_fn(16, 1, |i, _| i as f64);
+//! let (resp, report) = serve(ServiceConfig::default(), |h| {
+//!     h.register_matrix(7, a, MatrixKind::General);
+//!     h.solve(SolveRequest::new(7, b)).unwrap()
+//! });
+//! assert!(resp.residual <= 1e-10);
+//! assert_eq!(report.stats.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod fingerprint;
+pub mod service;
+pub mod stats;
+
+pub use api::{MatrixKind, RequestStats, SolveError, SolveRequest, SolveResponse};
+pub use cache::{CachedFactor, FactorCache};
+pub use client::solve_with_retry;
+pub use fingerprint::Fingerprint;
+pub use service::{serve, DistributedConfig, ServiceConfig, ServiceReport, SolverHandle, Ticket};
+pub use stats::ServiceStats;

@@ -1,0 +1,754 @@
+//! The service itself: worker pool, bounded queue, admission control,
+//! single-flight factoring and multi-RHS batch solving.
+//!
+//! Scheduling invariants:
+//!
+//! * **Bounded admission** — `submit` rejects with
+//!   [`SolveError::Overloaded`] once `max_queue` requests are pending;
+//!   nothing inside the service ever blocks a client indefinitely on a
+//!   full queue.
+//! * **Single-flight factoring** — at most one worker factors a given
+//!   fingerprint at a time (the `factoring` set); other workers skip past
+//!   its queued requests instead of duplicating the `O(n³)` work, and are
+//!   woken when the factor lands in the cache.
+//! * **Batching** — a worker that obtains a factor drains every queued
+//!   request with the same fingerprint (up to `max_batch`) and solves them
+//!   as one `n × ΣK` multi-RHS pass: the factor streams through the
+//!   blocked `trsm` kernels once instead of once per request.
+//! * **Drain on shutdown** — workers exit only when shutdown is flagged
+//!   *and* the queue is empty, so every accepted ticket gets an answer.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use conflux::{factorize_threaded, ConfluxConfig, LuGrid};
+use denselin::gemm::gemm_auto;
+use denselin::lu::SingularMatrix;
+use denselin::{cholesky_blocked, lu_blocked, solve_refined, Matrix};
+use simnet::{AlphaBeta, ClockDomain, Event, RankTracer, Trace};
+
+use crate::api::{MatrixKind, RequestStats, SolveError, SolveRequest, SolveResponse};
+use crate::cache::{CachedFactor, FactorCache};
+use crate::fingerprint::Fingerprint;
+use crate::stats::{Collector, ServiceStats};
+
+/// Route cold factorizations of large matrices through the real
+/// distributed driver ([`conflux::factorize_threaded`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedConfig {
+    /// Minimum matrix order that takes the distributed path; smaller
+    /// matrices always factor locally (the SPMD spawn overhead would
+    /// dominate).
+    pub min_n: usize,
+    /// COnfLUX block size `v`. The distributed path additionally requires
+    /// `n % tile == 0` and `tile ≥ grid.c`; incompatible requests fall
+    /// back to the local blocked LU.
+    pub tile: usize,
+    /// The `[q, q, c]` processor grid (`q` must be a power of two).
+    pub grid: LuGrid,
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads servicing the queue.
+    pub workers: usize,
+    /// Admission bound: pending requests beyond this are rejected with
+    /// [`SolveError::Overloaded`].
+    pub max_queue: usize,
+    /// Factor-cache byte budget.
+    pub cache_budget_bytes: usize,
+    /// Most requests one batch may coalesce.
+    pub max_batch: usize,
+    /// Panel width for the local blocked factorizations.
+    pub panel: usize,
+    /// Refinement sweeps allowed when a solve misses its tolerance.
+    pub refine_sweeps: usize,
+    /// Deadline applied to requests that carry none (`None` = unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Record per-request wall-clock spans (queue/factor/solve/refine)
+    /// into a [`simnet::Trace`] exportable to Perfetto.
+    pub trace: bool,
+    /// Optional distributed backend for cold large factorizations.
+    pub distributed: Option<DistributedConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            max_queue: 64,
+            cache_budget_bytes: 64 << 20,
+            max_batch: 32,
+            panel: 64,
+            refine_sweeps: 5,
+            default_deadline: None,
+            trace: false,
+            distributed: None,
+        }
+    }
+}
+
+/// What [`serve`] hands back after the scope closes: final statistics and
+/// (when tracing was on) the wall-clock event trace.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Final aggregated statistics.
+    pub stats: ServiceStats,
+    /// Wall-clock spans of every request phase, one timeline per worker,
+    /// exportable with [`simnet::Trace::to_chrome_trace`].
+    pub trace: Option<Trace>,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Registered {
+    matrix: Arc<Matrix>,
+    kind: MatrixKind,
+    fp: Fingerprint,
+}
+
+struct Pending {
+    fp: Fingerprint,
+    matrix: Arc<Matrix>,
+    kind: MatrixKind,
+    rhs: Matrix,
+    tolerance: f64,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    /// Seconds since the service epoch, for the trace's queue span.
+    enqueued_s: f64,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct Slot {
+    cell: Mutex<Option<Result<SolveResponse, SolveError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn deliver(&self, result: Result<SolveResponse, SolveError>) {
+        *self.cell.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on a submitted request; [`Ticket::wait`] blocks for the answer.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Block until a worker answers this request.
+    pub fn wait(self) -> Result<SolveResponse, SolveError> {
+        let mut cell = self.slot.cell.lock().unwrap();
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.slot.ready.wait(cell).unwrap();
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    registry: HashMap<u64, Registered>,
+    cache: FactorCache,
+    /// Fingerprints some worker is currently factoring (single-flight).
+    factoring: HashSet<Fingerprint>,
+    collector: Collector,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    epoch: Instant,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+/// Client-side handle to a running service, valid inside the [`serve`]
+/// scope. Shareable across client threads by reference.
+pub struct SolverHandle {
+    shared: Arc<Shared>,
+}
+
+impl SolverHandle {
+    /// Register (or replace) a matrix under `matrix_id`. Returns its
+    /// content fingerprint — re-registering different data under the same
+    /// id changes the fingerprint, so stale cached factors can never be
+    /// served.
+    pub fn register_matrix(&self, matrix_id: u64, matrix: Matrix, kind: MatrixKind) -> Fingerprint {
+        let fp = Fingerprint::of(&matrix); // hash outside the lock
+        let mut st = self.shared.state.lock().unwrap();
+        st.registry.insert(
+            matrix_id,
+            Registered {
+                matrix: Arc::new(matrix),
+                kind,
+                fp,
+            },
+        );
+        fp
+    }
+
+    /// Submit a request. Fails fast — never blocks on a full queue.
+    pub fn submit(&self, req: SolveRequest) -> Result<Ticket, SolveError> {
+        let slot = {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(SolveError::ShuttingDown);
+            }
+            let reg = match st.registry.get(&req.matrix_id) {
+                Some(r) => r.clone(),
+                None => {
+                    return Err(SolveError::UnknownMatrix {
+                        matrix_id: req.matrix_id,
+                    })
+                }
+            };
+            if reg.matrix.rows() != req.rhs.rows() {
+                return Err(SolveError::ShapeMismatch {
+                    matrix_rows: reg.matrix.rows(),
+                    rhs_rows: req.rhs.rows(),
+                });
+            }
+            if st.queue.len() >= self.shared.cfg.max_queue {
+                st.collector.rejected_overloaded += 1;
+                return Err(SolveError::Overloaded {
+                    depth: st.queue.len(),
+                });
+            }
+            st.collector.submitted += 1;
+            let slot = Arc::new(Slot::default());
+            st.queue.push_back(Pending {
+                fp: reg.fp,
+                matrix: reg.matrix,
+                kind: reg.kind,
+                rhs: req.rhs,
+                tolerance: req.tolerance,
+                deadline: req.deadline.or(self.shared.cfg.default_deadline),
+                enqueued: Instant::now(),
+                enqueued_s: self.shared.epoch.elapsed().as_secs_f64(),
+                slot: Arc::clone(&slot),
+            });
+            slot
+        };
+        self.shared.work.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submit and block for the answer.
+    pub fn solve(&self, req: SolveRequest) -> Result<SolveResponse, SolveError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.shared.state.lock().unwrap();
+        snapshot(&st, self.shared.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+}
+
+fn snapshot(st: &State, elapsed_s: f64) -> ServiceStats {
+    let mut stats = st.collector.snapshot(elapsed_s);
+    stats.cache_hits = st.cache.hits;
+    stats.cache_misses = st.cache.misses;
+    stats.cache_evictions = st.cache.evictions;
+    stats.cache_bytes = st.cache.bytes();
+    stats.cache_entries = st.cache.len();
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// The serve scope
+// ---------------------------------------------------------------------------
+
+/// Run a service: spawn the worker pool, hand the client closure a
+/// [`SolverHandle`], and on return drain the queue, join the workers and
+/// report. The scoped-thread structure guarantees no worker outlives the
+/// borrowed matrices.
+pub fn serve<R>(cfg: ServiceConfig, f: impl FnOnce(&SolverHandle) -> R) -> (R, ServiceReport) {
+    let workers = cfg.workers.max(1);
+    let tracing = cfg.trace;
+    let budget = cfg.cache_budget_bytes;
+    let epoch = Instant::now();
+    let shared = Arc::new(Shared {
+        cfg,
+        epoch,
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            registry: HashMap::new(),
+            cache: FactorCache::new(budget),
+            factoring: HashSet::new(),
+            collector: Collector::default(),
+            shutdown: false,
+        }),
+        work: Condvar::new(),
+    });
+
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = crossbeam::thread::scope(|s| {
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            let events = &events;
+            s.spawn(move |_| {
+                let mut tracer = if tracing {
+                    RankTracer::wall(w, epoch)
+                } else {
+                    RankTracer::noop()
+                };
+                worker_loop(&shared, &mut tracer);
+                let evs = tracer.into_events();
+                if !evs.is_empty() {
+                    events.lock().unwrap().extend(evs);
+                }
+            });
+        }
+        let handle = SolverHandle {
+            shared: Arc::clone(&shared),
+        };
+        // flag shutdown even if `f` unwinds: a panicking caller must not
+        // leave the workers parked on the condvar forever (the scope join
+        // would deadlock instead of propagating the panic)
+        struct ShutdownOnDrop<'a>(&'a Shared);
+        impl Drop for ShutdownOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.state.lock().unwrap().shutdown = true;
+                self.0.work.notify_all();
+            }
+        }
+        let guard = ShutdownOnDrop(&shared);
+        let r = f(&handle);
+        drop(guard);
+        r
+    })
+    .expect("solversrv worker panicked");
+
+    let elapsed_s = epoch.elapsed().as_secs_f64();
+    let st = shared.state.lock().unwrap();
+    debug_assert!(st.queue.is_empty(), "shutdown drained the queue");
+    let stats = snapshot(&st, elapsed_s);
+    drop(st);
+    let trace = tracing.then(|| Trace {
+        p: workers,
+        model: AlphaBeta::aries_like(),
+        clock: ClockDomain::Wall,
+        events: events.into_inner().unwrap(),
+    });
+    (result, ServiceReport { stats, trace })
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+struct BatchMember {
+    pending: Pending,
+    queue_wait: Duration,
+    cache_hit: bool,
+}
+
+fn worker_loop(shared: &Shared, tracer: &mut RankTracer) {
+    loop {
+        let mut st = shared.state.lock().unwrap();
+        let idx = loop {
+            // skip requests whose factor another worker is computing:
+            // they will be coalesced (or unblocked) when it finishes
+            let free = (0..st.queue.len()).find(|&i| !st.factoring.contains(&st.queue[i].fp));
+            match free {
+                Some(i) => break Some(i),
+                None if st.shutdown && st.queue.is_empty() => break None,
+                None => st = shared.work.wait(st).unwrap(),
+            }
+        };
+        let Some(idx) = idx else { return };
+        let lead = st.queue.remove(idx).expect("index in bounds");
+
+        // deadline check at dequeue: a request that waited too long is
+        // abandoned *before* any compute is spent on it
+        let waited = lead.enqueued.elapsed();
+        if let Some(deadline) = lead.deadline {
+            if waited > deadline {
+                st.collector.deadline_misses += 1;
+                lead.slot
+                    .deliver(Err(SolveError::DeadlineExceeded { waited, deadline }));
+                continue;
+            }
+        }
+
+        match st.cache.lookup(lead.fp) {
+            Some(factor) => {
+                let batch = coalesce(&mut st, lead, shared.cfg.max_batch, true, true);
+                st.cache.note_extra_hits(batch.len() as u64 - 1);
+                drop(st);
+                solve_batch(shared, tracer, &factor, batch, Duration::ZERO, false);
+                shared.work.notify_all();
+            }
+            None => {
+                st.factoring.insert(lead.fp);
+                drop(st);
+
+                let t0 = tracer.begin();
+                let start = Instant::now();
+                let outcome = factor_matrix(&shared.cfg, &lead.matrix, lead.kind);
+                let factor_time = start.elapsed();
+
+                let mut st = shared.state.lock().unwrap();
+                st.factoring.remove(&lead.fp);
+                match outcome {
+                    Ok(factored) => {
+                        tracer.push_compute("svc:factor", factored.factor.kernel(), t0);
+                        if factored.distributed {
+                            st.collector.distributed_factors += 1;
+                        }
+                        if factored.spd_fallback {
+                            st.collector.spd_fallbacks += 1;
+                        }
+                        st.cache.insert(lead.fp, factored.factor.clone());
+                        // the leader was a miss; riders are served from
+                        // the just-inserted factor and count as hits
+                        let batch = coalesce(&mut st, lead, shared.cfg.max_batch, false, true);
+                        st.cache.note_extra_hits(batch.len() as u64 - 1);
+                        drop(st);
+                        solve_batch(
+                            shared,
+                            tracer,
+                            &factored.factor,
+                            batch,
+                            factor_time,
+                            factored.distributed,
+                        );
+                    }
+                    Err(err) => {
+                        tracer.push_compute("svc:factor", "failed", t0);
+                        // every queued request for this fingerprint will
+                        // fail identically: fail them together instead of
+                        // re-factoring a singular matrix per request
+                        let batch = coalesce(&mut st, lead, usize::MAX, false, false);
+                        st.collector.failed += batch.len() as u64;
+                        drop(st);
+                        for member in batch {
+                            member.pending.slot.deliver(Err(err.clone()));
+                        }
+                    }
+                }
+                // wake workers skipping this fingerprint (leftover riders
+                // beyond max_batch are now plain cache hits)
+                shared.work.notify_all();
+            }
+        }
+    }
+}
+
+/// Pull every queued request with the leader's fingerprint (up to
+/// `max_batch` total) out of the queue. Caller holds the state lock.
+fn coalesce(
+    st: &mut State,
+    lead: Pending,
+    max_batch: usize,
+    lead_hit: bool,
+    riders_hit: bool,
+) -> Vec<BatchMember> {
+    let fp = lead.fp;
+    let lead_wait = lead.enqueued.elapsed();
+    let mut batch = vec![BatchMember {
+        pending: lead,
+        queue_wait: lead_wait,
+        cache_hit: lead_hit,
+    }];
+    let mut i = 0;
+    while batch.len() < max_batch && i < st.queue.len() {
+        if st.queue[i].fp == fp {
+            let p = st.queue.remove(i).expect("index in bounds");
+            batch.push(BatchMember {
+                queue_wait: p.enqueued.elapsed(),
+                pending: p,
+                cache_hit: riders_hit,
+            });
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+struct Factored {
+    factor: CachedFactor,
+    distributed: bool,
+    spd_fallback: bool,
+}
+
+fn is_symmetric(a: &Matrix) -> bool {
+    (0..a.rows()).all(|i| (0..i).all(|j| a[(i, j)] == a[(j, i)]))
+}
+
+fn factor_matrix(
+    cfg: &ServiceConfig,
+    a: &Matrix,
+    kind: MatrixKind,
+) -> Result<Factored, SolveError> {
+    let n = a.rows();
+    let mut spd_fallback = false;
+    if kind == MatrixKind::SymmetricPositiveDefinite && !is_symmetric(a) {
+        // the blocked Cholesky only reads the lower triangle, so it can
+        // "succeed" on a mis-tagged non-symmetric matrix and produce a
+        // factor of the wrong matrix; catch the lie up front
+        spd_fallback = true;
+    } else if kind == MatrixKind::SymmetricPositiveDefinite {
+        match cholesky_blocked(a, cfg.panel.min(n.max(1))) {
+            Ok(l) => {
+                return Ok(Factored {
+                    factor: CachedFactor::Cholesky {
+                        lt: l.transpose(),
+                        l,
+                    },
+                    distributed: false,
+                    spd_fallback: false,
+                })
+            }
+            Err(_) => spd_fallback = true, // caller lied about SPD: use LU
+        }
+    }
+    if let Some(d) = cfg.distributed {
+        // the threaded driver asserts its preconditions; route around it
+        // (to the local factorization) instead of panicking a worker
+        let compatible = n >= d.min_n
+            && d.grid.q.is_power_of_two()
+            && d.tile >= d.grid.c
+            && d.tile > 0
+            && n.is_multiple_of(d.tile);
+        if compatible {
+            let ccfg = ConfluxConfig::dense(n, d.tile, d.grid);
+            if let Ok(run) = factorize_threaded(&ccfg, a) {
+                if let Some(factors) = run.factors {
+                    return Ok(Factored {
+                        factor: CachedFactor::Lu(factors.to_factorization()),
+                        distributed: true,
+                        spd_fallback,
+                    });
+                }
+            }
+            // fall through to the local path on any distributed failure
+        }
+    }
+    match lu_blocked(a, cfg.panel.min(n.max(1))) {
+        Ok(f) => Ok(Factored {
+            factor: CachedFactor::Lu(f),
+            distributed: false,
+            spd_fallback,
+        }),
+        Err(SingularMatrix { column }) => Err(SolveError::Singular { column }),
+    }
+}
+
+/// Solve one coalesced batch: stack the RHS columns, run one multi-RHS
+/// triangular solve, check each member's residual, degrade stragglers to
+/// iterative refinement, deliver every response.
+fn solve_batch(
+    shared: &Shared,
+    tracer: &mut RankTracer,
+    factor: &CachedFactor,
+    batch: Vec<BatchMember>,
+    factor_time: Duration,
+    distributed: bool,
+) {
+    // queue span: from the earliest submission in the batch to now
+    if tracer.enabled() {
+        let t0 = batch
+            .iter()
+            .map(|m| m.pending.enqueued_s)
+            .fold(f64::INFINITY, f64::min);
+        tracer.push_compute("svc:queue", "wait", t0);
+    }
+
+    // honor deadlines of riders that aged out while queued
+    let mut active: Vec<BatchMember> = Vec::with_capacity(batch.len());
+    let mut missed = 0u64;
+    for member in batch {
+        match member.pending.deadline {
+            Some(deadline) if member.queue_wait > deadline => {
+                missed += 1;
+                member
+                    .pending
+                    .slot
+                    .deliver(Err(SolveError::DeadlineExceeded {
+                        waited: member.queue_wait,
+                        deadline,
+                    }));
+            }
+            _ => active.push(member),
+        }
+    }
+    if missed > 0 {
+        shared.state.lock().unwrap().collector.deadline_misses += missed;
+    }
+    if active.is_empty() {
+        return;
+    }
+
+    let a = Arc::clone(&active[0].pending.matrix);
+    let n = a.rows();
+    let batch_size = active.len();
+    let k_total: usize = active.iter().map(|m| m.pending.rhs.cols()).sum();
+
+    // one factor pass over all stacked right-hand sides
+    let t0 = tracer.begin();
+    let solve_start = Instant::now();
+    let mut big = Matrix::zeros(n, k_total);
+    let mut off = 0;
+    for member in &active {
+        big.set_block(0, off, &member.pending.rhs);
+        off += member.pending.rhs.cols();
+    }
+    let mut x = Matrix::zeros(n, k_total);
+    factor.solve_into(&big, &mut x);
+    // one residual GEMM for the whole batch: r = b - A·x
+    let mut r = big;
+    gemm_auto(&mut r, -1.0, &a, &x, 1.0);
+    let solve_time = solve_start.elapsed();
+    tracer.push_compute("svc:solve", factor.kernel(), t0);
+
+    // slice out each member's answer, refining where the tolerance missed
+    let mut outcomes: Vec<(Arc<Slot>, Result<SolveResponse, SolveError>, Duration)> =
+        Vec::with_capacity(batch_size);
+    let mut refined_count = 0u64;
+    let mut off = 0;
+    for member in &active {
+        let p = &member.pending;
+        let k = p.rhs.cols();
+        let bnorm = p.rhs.frobenius_norm().max(f64::MIN_POSITIVE);
+        let residual = r.block(0, off, n, k).frobenius_norm() / bnorm;
+        let mut stats = RequestStats {
+            queue_wait: member.queue_wait,
+            factor_time,
+            solve_time,
+            refine_time: Duration::ZERO,
+            cache_hit: member.cache_hit,
+            batch_size,
+            refined: false,
+            refine_history: Vec::new(),
+            distributed_factor: distributed,
+            kernel: factor.kernel(),
+        };
+        let result = if residual <= p.tolerance {
+            Ok(SolveResponse {
+                x: x.block(0, off, n, k),
+                residual,
+                stats,
+            })
+        } else {
+            // graceful degradation: iterative refinement on this member
+            let t0r = tracer.begin();
+            let refine_start = Instant::now();
+            let outcome = refine_member(shared, factor, &a, p, x.block(0, off, n, k), residual);
+            stats.refine_time = refine_start.elapsed();
+            tracer.push_compute("svc:refine", factor.kernel(), t0r);
+            match outcome {
+                Ok((x_ref, res, history)) => {
+                    refined_count += 1;
+                    stats.refined = true;
+                    stats.refine_history = history;
+                    Ok(SolveResponse {
+                        x: x_ref,
+                        residual: res,
+                        stats,
+                    })
+                }
+                Err(e) => Err(e),
+            }
+        };
+        outcomes.push((Arc::clone(&p.slot), result, p.enqueued.elapsed()));
+        off += k;
+    }
+
+    // account, then deliver outside the lock
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.collector.record_batch(batch_size);
+        st.collector.refined += refined_count;
+        for (_, result, latency) in &outcomes {
+            match result {
+                Ok(_) => {
+                    st.collector.completed += 1;
+                    st.collector.latencies.push(latency.as_secs_f64());
+                }
+                Err(_) => st.collector.failed += 1,
+            }
+        }
+    }
+    for (slot, result, _) in outcomes {
+        slot.deliver(result);
+    }
+}
+
+/// Refine one batch member that missed its tolerance. Returns the refined
+/// solution, its residual and the per-sweep history, or
+/// [`SolveError::ToleranceNotMet`].
+#[allow(clippy::type_complexity)]
+fn refine_member(
+    shared: &Shared,
+    factor: &CachedFactor,
+    a: &Matrix,
+    p: &Pending,
+    x0: Matrix,
+    residual0: f64,
+) -> Result<(Matrix, f64, Vec<f64>), SolveError> {
+    let sweeps = shared.cfg.refine_sweeps;
+    if let Some(lu) = factor.as_lu() {
+        let out = solve_refined(a, lu, &p.rhs, sweeps, p.tolerance);
+        if out.converged {
+            let residual = out.final_residual();
+            return Ok((out.x, residual, out.residual_history));
+        }
+        return Err(SolveError::ToleranceNotMet {
+            achieved: out.final_residual(),
+            requested: p.tolerance,
+            sweeps: out.sweeps(),
+        });
+    }
+    // Cholesky: same r = b - A·x; x += A⁻¹r iteration through the factor
+    let bnorm = p.rhs.frobenius_norm().max(f64::MIN_POSITIVE);
+    let mut x = x0;
+    let mut best = residual0;
+    let mut history = vec![residual0];
+    for _ in 0..sweeps {
+        if best <= p.tolerance {
+            break;
+        }
+        let mut r = p.rhs.clone();
+        gemm_auto(&mut r, -1.0, a, &x, 1.0);
+        let mut dx = Matrix::zeros(r.rows(), r.cols());
+        factor.solve_into(&r, &mut dx);
+        let candidate = x.add(&dx);
+        let mut r2 = p.rhs.clone();
+        gemm_auto(&mut r2, -1.0, a, &candidate, 1.0);
+        let rn = r2.frobenius_norm() / bnorm;
+        if rn >= best {
+            break; // stagnated: keep the better iterate
+        }
+        x = candidate;
+        best = rn;
+        history.push(rn);
+    }
+    if best <= p.tolerance {
+        Ok((x, best, history))
+    } else {
+        Err(SolveError::ToleranceNotMet {
+            achieved: best,
+            requested: p.tolerance,
+            sweeps: history.len() - 1,
+        })
+    }
+}

@@ -1,0 +1,79 @@
+//! The solve service end to end: register a mix of matrices, drive hot and
+//! cold traffic from concurrent clients, then print the `ServiceStats`
+//! snapshot and export the per-request phase trace for Perfetto.
+//!
+//! Run with `cargo run --release --example solver_service`, then load the
+//! printed JSON file at <https://ui.perfetto.dev>.
+
+use conflux_repro::denselin::Matrix;
+use conflux_repro::simnet::RetryPolicy;
+use conflux_repro::solversrv::{serve, solve_with_retry, MatrixKind, ServiceConfig, SolveRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(0x5e2f);
+
+    // one hot general matrix, one SPD matrix, a handful of cold tenants
+    let hot = Matrix::random_diagonally_dominant(&mut rng, n);
+    let m = Matrix::random(&mut rng, n, n);
+    let mut spd = m.matmul(&m.transpose());
+    for i in 0..n {
+        spd[(i, i)] += n as f64;
+    }
+    let cold: Vec<Matrix> = (0..4)
+        .map(|_| Matrix::random_diagonally_dominant(&mut rng, n))
+        .collect();
+
+    let cfg = ServiceConfig {
+        workers: 2,
+        max_queue: 32,
+        trace: true, // record svc:queue/factor/solve spans per worker
+        ..ServiceConfig::default()
+    };
+    let policy = RetryPolicy::default();
+
+    let ((), report) = serve(cfg, |h| {
+        h.register_matrix(0, hot.clone(), MatrixKind::General);
+        h.register_matrix(1, spd.clone(), MatrixKind::SymmetricPositiveDefinite);
+        for (i, c) in cold.iter().enumerate() {
+            h.register_matrix(2 + i as u64, c.clone(), MatrixKind::General);
+        }
+
+        // concurrent clients: 3/4 of traffic hammers the hot matrix (its
+        // factor is paid once and then batched), the rest wanders across
+        // the SPD and cold tenants
+        std::thread::scope(|s| {
+            for client in 0..6u64 {
+                let policy = &policy;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + client);
+                    for req in 0..20u64 {
+                        let id = match (client + req) % 8 {
+                            0 => 1,             // SPD
+                            1 => 2 + (req % 4), // a cold tenant
+                            _ => 0,             // the hot matrix
+                        };
+                        let b = Matrix::random(&mut rng, n, 1);
+                        let resp = solve_with_retry(h, &SolveRequest::new(id, b), policy)
+                            .expect("request failed");
+                        assert!(resp.residual <= 1e-10);
+                    }
+                });
+            }
+        });
+    });
+
+    println!("{}", report.stats);
+
+    let trace = report.trace.expect("tracing was enabled");
+    let path = std::env::temp_dir().join("solver_service_trace.json");
+    std::fs::write(&path, trace.to_chrome_trace()).expect("write trace");
+    println!();
+    println!(
+        "perfetto trace: {} ({} events) — load it at https://ui.perfetto.dev",
+        path.display(),
+        trace.events.len()
+    );
+}

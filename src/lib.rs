@@ -17,3 +17,4 @@ pub use denselin;
 pub use iobound;
 pub use pebbling;
 pub use simnet;
+pub use solversrv;
