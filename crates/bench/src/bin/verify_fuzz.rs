@@ -1,0 +1,130 @@
+//! `verify-fuzz` — the deterministic fuzz campaign driving the `verifier`
+//! crate's differential oracle over the whole stack.
+//!
+//! Each scenario seed expands into a randomized LU/Cholesky/solve workload
+//! that is run through every applicable implementation (serial, orchestrated
+//! COnfLUX, threaded SPMD, 2D and CANDMC baselines, the solver service) with
+//! the invariant battery applied to every run. Failures are shrunk to
+//! minimal reproducers and appended to the corpus file, which
+//! `tests/verify_corpus.rs` replays forever after.
+//!
+//! Usage: `cargo run --release -p conflux-bench --bin verify_fuzz --
+//! [--scenarios N] [--seed S] [--check] [--out PATH] [--corpus PATH]
+//! [--no-corpus-write]`
+//!
+//! `--check` exits nonzero if any scenario fails (the CI gate).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use verifier::{corpus, minimize, run_scenario, FuzzSummary, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let no_corpus_write = args.iter().any(|a| a == "--no-corpus-write");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scenarios: usize = flag("--scenarios")
+        .map(|s| s.parse().expect("--scenarios wants a number"))
+        .unwrap_or(200);
+    let base_seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed wants a number"))
+        .unwrap_or(0);
+    let out_path = flag("--out")
+        .unwrap_or_else(|| format!("{}/../../BENCH_verify.json", env!("CARGO_MANIFEST_DIR")));
+    let corpus_path = PathBuf::from(flag("--corpus").unwrap_or_else(|| {
+        format!(
+            "{}/../../tests/corpus/verify_seeds.txt",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }));
+
+    let started = Instant::now();
+    let mut summary = FuzzSummary::default();
+
+    // ---- replay the persisted corpus first: fixed bugs stay fixed ----
+    let corpus_scenarios = corpus::load(&corpus_path).unwrap_or_else(|e| {
+        eprintln!("corpus unreadable: {e}");
+        std::process::exit(2);
+    });
+    if !corpus_scenarios.is_empty() {
+        println!("# replaying {} corpus scenario(s)", corpus_scenarios.len());
+    }
+    for sc in &corpus_scenarios {
+        let report = run_scenario(sc);
+        if !report.passed() {
+            println!("{}", report.summary());
+        }
+        summary.absorb(&report, None);
+    }
+
+    // ---- the fresh seeded sweep ----
+    println!("# fuzzing {scenarios} scenario(s) from seed {base_seed}");
+    for i in 0..scenarios {
+        let seed = base_seed + i as u64;
+        let sc = Scenario::from_seed(seed);
+        let report = run_scenario(&sc);
+        if report.passed() {
+            summary.absorb(&report, None);
+        } else {
+            println!("seed {seed}: {}", report.summary());
+            for o in report.failures() {
+                let detail: String = o.detail.chars().take(400).collect();
+                println!("    {}: {detail}", o.name);
+            }
+            // shrink to a minimal reproducer that still fails any check
+            let (shrunk, steps) = minimize(&sc, |cand| !run_scenario(cand).passed());
+            if steps > 0 {
+                println!("  shrunk in {steps} step(s) to: {shrunk}");
+            }
+            let why = format!(
+                "seed {seed}: {}",
+                report
+                    .failures()
+                    .iter()
+                    .map(|o| o.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            if !no_corpus_write {
+                match corpus::append(&corpus_path, &shrunk, &why) {
+                    Ok(true) => println!("  recorded in {}", corpus_path.display()),
+                    Ok(false) => println!("  already in corpus"),
+                    Err(e) => eprintln!("  corpus write failed: {e}"),
+                }
+            }
+            summary.absorb(&report, Some(&shrunk));
+        }
+        if (i + 1) % 25 == 0 {
+            println!(
+                "# {}/{scenarios} done, {} failure(s), {:.1}s",
+                i + 1,
+                summary.failures.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    let json = summary.to_json(scenarios, base_seed);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+    } else {
+        println!("# wrote {out_path}");
+    }
+    println!(
+        "# verify-fuzz: {}/{} scenarios passed in {:.1}s",
+        summary.passed,
+        summary.total,
+        started.elapsed().as_secs_f64()
+    );
+    for (sc, names, _) in &summary.failures {
+        println!("#   FAIL [{}] {sc}", names.join(", "));
+    }
+    if check && !summary.clean() {
+        std::process::exit(1);
+    }
+}

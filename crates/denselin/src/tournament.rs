@@ -46,11 +46,57 @@ pub struct Candidates {
 /// avoiding library would do, and it is the stability yardstick.
 pub fn select_pivots_reference(panel: &Matrix, v: usize) -> PivotSelection {
     let v = v.min(panel.rows());
-    let f = lu_unblocked(panel).expect("panel is numerically singular");
-    let pivot_rows: Vec<usize> = f.perm[..v].to_vec();
+    let pivot_rows: Vec<usize> = pivot_order(panel)[..v].to_vec();
     let chosen = panel.gather_rows(&pivot_rows);
     let a00 = factor_chosen(&chosen);
     PivotSelection { pivot_rows, a00 }
+}
+
+/// Partial-pivoting row order of `panel`, tolerating rank deficiency: a
+/// column with no nonzero pivot left is skipped (no swap, no elimination)
+/// instead of aborting, so exactly-singular panels — duplicate candidate
+/// rows in a playoff stack, rank-deficient inputs — still yield a
+/// deterministic ordering that places every independent row before the
+/// rows it spans.
+pub fn pivot_order(panel: &Matrix) -> Vec<usize> {
+    let mut lu = panel.clone();
+    let (m, n) = lu.shape();
+    let mut perm: Vec<usize> = (0..m).collect();
+    for k in 0..n.min(m) {
+        let mut p = k;
+        let mut best = lu[(k, k)].abs();
+        for i in k + 1..m {
+            let v = lu[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            continue;
+        }
+        if p != k {
+            let (ra, rb) = if p < k { (p, k) } else { (k, p) };
+            let cols = lu.cols();
+            let (head, tail) = lu.as_mut_slice().split_at_mut(rb * cols);
+            head[ra * cols..(ra + 1) * cols].swap_with_slice(&mut tail[..cols]);
+            perm.swap(p, k);
+        }
+        let pivot = lu[(k, k)];
+        for i in k + 1..m {
+            let lik = lu[(i, k)] / pivot;
+            if lik != 0.0 {
+                let cols = lu.cols();
+                let (head, tail) = lu.as_mut_slice().split_at_mut(i * cols);
+                let rk = &head[k * cols..(k + 1) * cols];
+                let ri = &mut tail[..cols];
+                for j in k + 1..n {
+                    ri[j] -= lik * rk[j];
+                }
+            }
+        }
+    }
+    perm
 }
 
 /// Local stage of the tournament: nominate up to `v` candidate rows from
@@ -64,9 +110,9 @@ pub fn local_candidates(panel: &Matrix, row_ids: &[usize], v: usize) -> Candidat
             values: Matrix::zeros(0, panel.cols()),
         };
     }
-    let f = lu_unblocked(panel).expect("panel is numerically singular");
-    let rows: Vec<usize> = f.perm[..v].iter().map(|&i| row_ids[i]).collect();
-    let values = panel.gather_rows(&f.perm[..v]);
+    let order = pivot_order(panel);
+    let rows: Vec<usize> = order[..v].iter().map(|&i| row_ids[i]).collect();
+    let values = panel.gather_rows(&order[..v]);
     Candidates { rows, values }
 }
 
@@ -267,6 +313,43 @@ mod tests {
         let panel = Matrix::random(&mut rng, 3, 8);
         let sel = tournament_pivots(&panel, 8, 2);
         assert_eq!(sel.pivot_rows.len(), 3);
+    }
+
+    #[test]
+    fn pivot_order_matches_lu_on_full_rank_panels() {
+        let mut rng = StdRng::seed_from_u64(48);
+        for _ in 0..5 {
+            let panel = Matrix::random(&mut rng, 16, 4);
+            let f = lu_unblocked(&panel).unwrap();
+            assert_eq!(pivot_order(&panel), f.perm);
+        }
+    }
+
+    #[test]
+    fn tournament_survives_exactly_singular_stacks() {
+        // Wilkinson-shaped panel: rows beyond the panel width are exact
+        // duplicates, so playoff stacks are exactly singular. Surfaced by
+        // verify-fuzz (corpus: kernel=lu ... class=wilkinson); the
+        // tournament used to panic in `local_candidates`.
+        let v = 2;
+        let panel = Matrix::from_fn(12, v, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        for parts in [1, 2, 3, 4] {
+            let sel = tournament_pivots(&panel, v, parts);
+            assert_eq!(sel.pivot_rows.len(), v, "parts={parts}");
+            // the selected rows must be independent (rows 0 and 1 are the
+            // only independent pair up to duplicates)
+            let chosen = panel.gather_rows(&sel.pivot_rows);
+            let f = lu_unblocked(&chosen);
+            assert!(f.is_ok(), "parts={parts}: singular pivot block chosen");
+        }
     }
 
     #[test]

@@ -60,4 +60,4 @@ pub use network::{BcastAlgo, Network};
 pub use stats::{CommStats, Rank, ELEMENT_BYTES};
 pub use threaded::{run_spmd, run_spmd_supervised, RankCtx, SpmdFailure, SpmdReport, Supervisor};
 pub use topology::{icbrt, isqrt, squarest_2d, Coord3D, Grid3D};
-pub use trace::{ClockDomain, CriticalPath, Event, EventKind, RankTracer, Trace, Tracer};
+pub use trace::{ClockDomain, CriticalPath, Event, EventKind, HbGraph, RankTracer, Trace, Tracer};

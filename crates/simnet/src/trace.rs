@@ -620,6 +620,52 @@ impl CriticalPath {
     }
 }
 
+/// The happens-before dependency DAG of a [`Trace`], over event indices
+/// plus one synthetic barrier node per collective instance (see
+/// [`Trace::happens_before`]).
+#[derive(Clone, Debug)]
+pub struct HbGraph {
+    /// Number of real events (nodes `0..events` index [`Trace::events`]).
+    pub events: usize,
+    /// Total node count including synthetic collective-barrier nodes.
+    pub nodes: usize,
+    /// Directed edges `a → b`: `a` happens before `b`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl HbGraph {
+    /// Number of nodes a Kahn topological drain cannot reach — `0` iff the
+    /// graph is acyclic. A nonzero value means the recorded event ordering
+    /// contains a causal loop, which no real execution can produce: it is
+    /// the invariant the `verifier` crate checks on every traced run.
+    pub fn undrained_nodes(&self) -> usize {
+        let mut indeg = vec![0u32; self.nodes];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.nodes).filter(|&i| indeg[i] == 0).collect();
+        let mut drained = 0usize;
+        while let Some(u) = queue.pop_front() {
+            drained += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.nodes - drained
+    }
+
+    /// `true` iff the happens-before relation is a DAG.
+    pub fn is_acyclic(&self) -> bool {
+        self.undrained_nodes() == 0
+    }
+}
+
 impl Trace {
     /// Latest event end (0.0 for an empty trace).
     pub fn makespan(&self) -> f64 {
@@ -647,6 +693,75 @@ impl Trace {
         self.critical_path_with(&self.model)
     }
 
+    /// Build the happens-before dependency graph of this trace — the exact
+    /// DAG [`Trace::critical_path_with`] walks, exposed so external
+    /// verifiers can check structural invariants (acyclicity, message
+    /// ordering) independently of the cost model.
+    ///
+    /// Nodes `0..events` are indices into [`Trace::events`]; nodes
+    /// `events..nodes` are synthetic zero-cost barrier nodes, one per
+    /// collective instance. Edges follow the three families documented on
+    /// [`Trace::critical_path_with`].
+    pub fn happens_before(&self) -> HbGraph {
+        let n = self.events.len();
+        // collective instances, keyed by their shared seq
+        let mut instances: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if matches!(e.kind, EventKind::CollectiveStep { .. }) {
+                instances.entry(e.seq).or_default().push(i);
+            }
+        }
+        let mut barrier_of: Vec<(u64, usize)> =
+            instances.iter().map(|(&seq, _)| (seq, 0usize)).collect();
+        barrier_of.sort_unstable();
+        for (k, b) in barrier_of.iter_mut().enumerate() {
+            b.1 = n + k;
+        }
+        let barrier_id: HashMap<u64, usize> = barrier_of.iter().copied().collect();
+        let nodes = n + barrier_id.len();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+
+        // 1. program order + predecessor map (needed by barrier edges)
+        let mut prev_of_rank: HashMap<Rank, usize> = HashMap::new();
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(&p) = prev_of_rank.get(&e.rank) {
+                edges.push((p, i));
+                pred[i] = Some(p);
+            }
+            prev_of_rank.insert(e.rank, i);
+        }
+        // 2. message edges: send (and its fault overhead) -> recv
+        let mut sends: HashMap<(Rank, Rank, u64), usize> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if let EventKind::Send { peer } = e.kind {
+                sends.insert((e.rank, peer, e.seq), i);
+            }
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if let EventKind::Recv { peer } = e.kind {
+                if let Some(&s) = sends.get(&(peer, e.rank, e.seq)) {
+                    edges.push((s, i));
+                }
+            }
+        }
+        // 3. collective barriers: pred(step) -> barrier -> every step
+        for (seq, steps) in &instances {
+            let b = barrier_id[seq];
+            for &i in steps {
+                if let Some(p) = pred[i] {
+                    edges.push((p, b));
+                }
+                edges.push((b, i));
+            }
+        }
+        HbGraph {
+            events: n,
+            nodes,
+            edges,
+        }
+    }
+
     /// The critical path under an explicit α-β model.
     ///
     /// The happens-before DAG has three edge families:
@@ -663,63 +778,14 @@ impl Trace {
     /// is what bounds the runtime of the run under unlimited overlap of
     /// independent work.
     pub fn critical_path_with(&self, model: &AlphaBeta) -> CriticalPath {
-        let n = self.events.len();
-        // collective instances, keyed by their shared seq
-        let mut instances: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, e) in self.events.iter().enumerate() {
-            if matches!(e.kind, EventKind::CollectiveStep { .. }) {
-                instances.entry(e.seq).or_default().push(i);
-            }
-        }
-        let mut barrier_of: Vec<(u64, usize)> =
-            instances.iter().map(|(&seq, _)| (seq, 0usize)).collect();
-        barrier_of.sort_unstable();
-        for (k, b) in barrier_of.iter_mut().enumerate() {
-            b.1 = n + k;
-        }
-        let barrier_id: HashMap<u64, usize> = barrier_of.iter().copied().collect();
-        let total = n + barrier_id.len();
-
+        let graph = self.happens_before();
+        let n = graph.events;
+        let total = graph.nodes;
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
         let mut indeg: Vec<u32> = vec![0; total];
-        let add_edge = |adj: &mut Vec<Vec<usize>>, indeg: &mut Vec<u32>, a: usize, b: usize| {
+        for &(a, b) in &graph.edges {
             adj[a].push(b);
             indeg[b] += 1;
-        };
-
-        // 1. program order + predecessor map (needed by barrier edges)
-        let mut prev_of_rank: HashMap<Rank, usize> = HashMap::new();
-        let mut pred: Vec<Option<usize>> = vec![None; n];
-        for (i, e) in self.events.iter().enumerate() {
-            if let Some(&p) = prev_of_rank.get(&e.rank) {
-                add_edge(&mut adj, &mut indeg, p, i);
-                pred[i] = Some(p);
-            }
-            prev_of_rank.insert(e.rank, i);
-        }
-        // 2. message edges: send (and its fault overhead) -> recv
-        let mut sends: HashMap<(Rank, Rank, u64), usize> = HashMap::new();
-        for (i, e) in self.events.iter().enumerate() {
-            if let EventKind::Send { peer } = e.kind {
-                sends.insert((e.rank, peer, e.seq), i);
-            }
-        }
-        for (i, e) in self.events.iter().enumerate() {
-            if let EventKind::Recv { peer } = e.kind {
-                if let Some(&s) = sends.get(&(peer, e.rank, e.seq)) {
-                    add_edge(&mut adj, &mut indeg, s, i);
-                }
-            }
-        }
-        // 3. collective barriers: pred(step) -> barrier -> every step
-        for (seq, steps) in &instances {
-            let b = barrier_id[seq];
-            for &i in steps {
-                if let Some(p) = pred[i] {
-                    add_edge(&mut adj, &mut indeg, p, b);
-                }
-                add_edge(&mut adj, &mut indeg, b, i);
-            }
         }
 
         // weights (barrier nodes are free)

@@ -1,0 +1,100 @@
+//! The failure corpus: a plain-text file of scenario lines (one per
+//! [`Scenario`], in the [`Scenario::encode`] format) that once failed the
+//! oracle. The fuzz driver appends newly shrunk reproducers here, and a
+//! regression test replays every line on every run, so a fixed bug stays
+//! fixed.
+//!
+//! Lines starting with `#` are comments (the driver writes one above each
+//! seed recording which check failed and when); blank lines are ignored.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::scenario::Scenario;
+
+/// Parse a corpus file's contents into scenarios, skipping comments and
+/// blanks. Malformed lines are errors — a corpus that silently drops
+/// entries is worse than one that fails loudly.
+pub fn parse(contents: &str) -> Result<Vec<Scenario>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in contents.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sc = Scenario::decode(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        out.push(sc);
+    }
+    Ok(out)
+}
+
+/// Load a corpus file. A missing file is an empty corpus.
+pub fn load(path: &Path) -> Result<Vec<Scenario>, String> {
+    match fs::read_to_string(path) {
+        Ok(contents) => parse(&contents),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Append a failing scenario (with a comment describing why) unless an
+/// identical line is already present. Returns whether the corpus grew.
+pub fn append(path: &Path, sc: &Scenario, why: &str) -> Result<bool, String> {
+    let line = sc.encode();
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    if existing.lines().any(|l| l.trim() == line) {
+        return Ok(false);
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let lead = if existing.is_empty() || existing.ends_with('\n') {
+        ""
+    } else {
+        "\n"
+    };
+    write!(f, "{lead}# {why}\n{line}\n").map_err(|e| e.to_string())?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "\
+# a fixed bug
+kernel=lu n=8 v=4 q=1 c=1 class=well mseed=7 nrhs=1 faults=none
+
+# another
+kernel=cholesky n=16 v=4 q=2 c=1 class=diagdom mseed=9 nrhs=1 faults=none
+";
+        let corpus = parse(text).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].n(), 8);
+        assert_eq!(corpus[1].q, 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("kernel=lu n=8\n").is_err());
+    }
+
+    #[test]
+    fn append_deduplicates() {
+        let dir = std::env::temp_dir().join(format!("verifier-corpus-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seeds.txt");
+        let _ = fs::remove_file(&path);
+        let sc = Scenario::from_seed(42);
+        assert!(append(&path, &sc, "first sighting").unwrap());
+        assert!(!append(&path, &sc, "seen again").unwrap());
+        let corpus = load(&path).unwrap();
+        assert_eq!(corpus, vec![sc]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,344 @@
+//! The pluggable invariant engine.
+//!
+//! Every run of every implementation leaves artifacts behind — volume
+//! counters, an optional event trace, a growth factor, a lower bound — and
+//! each [`Invariant`] states one property those artifacts must satisfy
+//! regardless of which implementation produced them. Checks are pure
+//! functions over [`RunArtifacts`], so adding one is implementing a
+//! two-method trait.
+
+use simnet::{AlphaBeta, ClockDomain, CommStats, Trace};
+
+/// Everything one implementation run leaves behind for checking.
+pub struct RunArtifacts<'a> {
+    /// Which implementation produced this run (`"conflux"`, `"lu2d"`, ...).
+    pub label: &'a str,
+    /// Communication counters of the run.
+    pub stats: &'a CommStats,
+    /// Event timeline, when the backend recorded one.
+    pub trace: Option<&'a Trace>,
+    /// Whether the fault plan could legitimately drop messages (drops are
+    /// charged to the sender only, so global send/recv equality relaxes to
+    /// `received <= sent`).
+    pub lossy: bool,
+    /// Per-rank I/O lower bound in elements, when the problem is large
+    /// enough for the asymptotic bound to bind (see [`crate::oracle`]).
+    pub bound_per_rank: Option<f64>,
+    /// Pivot growth factor of the computed factorization, when applicable.
+    pub growth: Option<f64>,
+    /// Matrix order.
+    pub n: usize,
+}
+
+/// One property every run must satisfy.
+pub trait Invariant {
+    /// Short stable name (used in reports and corpus annotations).
+    fn name(&self) -> &'static str;
+    /// `Err(detail)` describes the violation.
+    fn check(&self, art: &RunArtifacts) -> Result<(), String>;
+}
+
+/// A named violation produced by [`check_all`].
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Label of the run that violated it.
+    pub run: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// Run every invariant against one set of artifacts.
+pub fn check_all(invariants: &[Box<dyn Invariant>], art: &RunArtifacts) -> Vec<Violation> {
+    invariants
+        .iter()
+        .filter_map(|inv| {
+            inv.check(art).err().map(|detail| Violation {
+                invariant: inv.name(),
+                run: art.label.to_string(),
+                detail,
+            })
+        })
+        .collect()
+}
+
+/// The standard battery applied to every fuzzed run.
+pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(SendRecvConservation),
+        Box::new(TraceReconciles),
+        Box::new(HappensBeforeAcyclic),
+        Box::new(CriticalPathDominates),
+        Box::new(VolumeBound),
+        Box::new(GrowthSane),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Built-in invariants
+// ---------------------------------------------------------------------------
+
+/// Conservation of elements on the wire: globally (and in every phase)
+/// elements received equal elements sent. Under a lossy fault plan dropped
+/// attempts are charged to the sender only, so equality relaxes to
+/// `received <= sent`.
+pub struct SendRecvConservation;
+
+impl Invariant for SendRecvConservation {
+    fn name(&self) -> &'static str {
+        "send-recv-conservation"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let p = art.stats.ranks();
+        for phase in art.stats.phases() {
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            for r in 0..p {
+                let c = art.stats.phase_counter(r, phase);
+                sent += c.elements_sent;
+                recv += c.elements_received;
+            }
+            let ok = if art.lossy { recv <= sent } else { recv == sent };
+            if !ok {
+                return Err(format!(
+                    "phase `{phase}`: {sent} elements sent vs {recv} received (lossy={})",
+                    art.lossy
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A recorded trace must reconcile exactly with the volume counters: the
+/// per-rank, per-phase table rebuilt from events equals the accountant's.
+pub struct TraceReconciles;
+
+impl Invariant for TraceReconciles {
+    fn name(&self) -> &'static str {
+        "trace-reconciles"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let Some(trace) = art.trace else {
+            return Ok(());
+        };
+        let rebuilt = trace.rebuild_stats();
+        if rebuilt.phase_table() != art.stats.phase_table() {
+            return Err(format!(
+                "trace-derived counters diverge from accountant:\n--- trace ---\n{}\n--- stats ---\n{}",
+                rebuilt.phase_table(),
+                art.stats.phase_table()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The happens-before graph of a trace (program order + message matching +
+/// collective barriers) must be a DAG, and under the virtual clock every
+/// matched message must be received no earlier than it was sent.
+pub struct HappensBeforeAcyclic;
+
+impl Invariant for HappensBeforeAcyclic {
+    fn name(&self) -> &'static str {
+        "happens-before-acyclic"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let Some(trace) = art.trace else {
+            return Ok(());
+        };
+        let graph = trace.happens_before();
+        let stuck = graph.undrained_nodes();
+        if stuck != 0 {
+            return Err(format!(
+                "happens-before graph has a cycle: {stuck} of {} nodes undrained",
+                graph.nodes
+            ));
+        }
+        if trace.clock == ClockDomain::Virtual {
+            // timestamps must be consistent with the message edges
+            for &(from, to) in &graph.edges {
+                if from < graph.events && to < graph.events {
+                    let (a, b) = (&trace.events[from], &trace.events[to]);
+                    if a.rank != b.rank && b.t_end + 1e-12 < a.t_end {
+                        return Err(format!(
+                            "virtual clock violates an hb edge: {}@r{} ends {:.3e} after {}@r{} ends {:.3e}",
+                            a.kind.name(),
+                            a.rank,
+                            a.t_end,
+                            b.kind.name(),
+                            b.rank,
+                            b.t_end
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The longest happens-before chain can only be *longer* than any single
+/// rank's local α-β cost sum (virtual-clock traces; wall clocks measure
+/// real contention and are excluded).
+pub struct CriticalPathDominates;
+
+impl Invariant for CriticalPathDominates {
+    fn name(&self) -> &'static str {
+        "critical-path-dominates"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let Some(trace) = art.trace else {
+            return Ok(());
+        };
+        if trace.clock != ClockDomain::Virtual {
+            return Ok(());
+        }
+        let cp = trace.critical_path().total_time();
+        let local = AlphaBeta::aries_like().max_rank_time(art.stats);
+        // tiny relative slack for float accumulation order
+        if cp + 1e-9 * local.max(1.0) < local {
+            return Err(format!(
+                "critical path {cp:.6e}s below max per-rank α-β time {local:.6e}s"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Measured communication must dominate the parallel I/O lower bound the
+/// paper's Theorem gives for the problem size. The oracle only attaches
+/// `bound_per_rank` when `n` is large enough that the asymptotic bound
+/// binds, so a violation here is an accounting bug, not a small-`n` gap.
+pub struct VolumeBound;
+
+impl Invariant for VolumeBound {
+    fn name(&self) -> &'static str {
+        "volume-lower-bound"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let Some(bound) = art.bound_per_rank else {
+            return Ok(());
+        };
+        let measured = art.stats.max_sent_per_rank() as f64;
+        if measured < bound {
+            return Err(format!(
+                "max per-rank volume {measured:.3e} elements below lower bound {bound:.3e}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Pivot growth must be finite, positive, and within the worst-case
+/// envelope of partial-style pivoting (`2^(n-1)`, with slack for the
+/// tournament's weaker constant). Values below 1 are legitimate: the
+/// measured ratio `max|U|/max|A|` shrinks when elimination cancels mass
+/// (diagonally dominant input does this systematically).
+pub struct GrowthSane;
+
+impl Invariant for GrowthSane {
+    fn name(&self) -> &'static str {
+        "growth-sane"
+    }
+
+    fn check(&self, art: &RunArtifacts) -> Result<(), String> {
+        let Some(g) = art.growth else {
+            return Ok(());
+        };
+        if !g.is_finite() {
+            return Err(format!("growth factor is not finite: {g}"));
+        }
+        if g <= 0.0 {
+            return Err(format!("growth factor {g} not positive"));
+        }
+        // 2^(n+4): the partial-pivoting worst case with 16x slack for the
+        // tournament's block-reduction constant
+        let envelope = 2f64.powi(art.n as i32 + 4);
+        if g > envelope {
+            return Err(format!(
+                "growth factor {g:.3e} exceeds envelope 2^(n+4) = {envelope:.3e}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_artifacts(stats: &CommStats) -> RunArtifacts<'_> {
+        RunArtifacts {
+            label: "test",
+            stats,
+            trace: None,
+            lossy: false,
+            bound_per_rank: None,
+            growth: None,
+            n: 8,
+        }
+    }
+
+    #[test]
+    fn conservation_catches_one_sided_charge() {
+        let mut stats = CommStats::new(2);
+        stats.charge(0, 100, 0, 1, "x");
+        let art = empty_artifacts(&stats);
+        let v = check_all(&default_invariants(), &art);
+        assert!(v.iter().any(|v| v.invariant == "send-recv-conservation"));
+        // the same charge is legal under a lossy plan
+        let art = RunArtifacts {
+            lossy: true,
+            ..empty_artifacts(&stats)
+        };
+        assert!(check_all(&default_invariants(), &art).is_empty());
+    }
+
+    #[test]
+    fn balanced_stats_pass() {
+        let mut stats = CommStats::new(2);
+        stats.record(0, 1, 64, "panel");
+        stats.record(1, 0, 32, "update");
+        let art = empty_artifacts(&stats);
+        assert!(check_all(&default_invariants(), &art).is_empty());
+    }
+
+    #[test]
+    fn growth_envelope() {
+        let stats = CommStats::new(1);
+        for (g, should_pass) in [
+            (1.0, true),
+            (0.5, true), // elimination may cancel mass: max|U| < max|A|
+            (100.0, true),
+            (f64::INFINITY, false),
+            (0.0, false),
+            (1e30, false),
+        ] {
+            let art = RunArtifacts {
+                growth: Some(g),
+                ..empty_artifacts(&stats)
+            };
+            let v = check_all(&default_invariants(), &art);
+            assert_eq!(v.is_empty(), should_pass, "growth {g}");
+        }
+    }
+
+    #[test]
+    fn volume_bound_direction() {
+        let mut stats = CommStats::new(2);
+        stats.record(0, 1, 10, "x");
+        let art = RunArtifacts {
+            bound_per_rank: Some(1e6),
+            ..empty_artifacts(&stats)
+        };
+        let v = check_all(&default_invariants(), &art);
+        assert!(v.iter().any(|v| v.invariant == "volume-lower-bound"));
+    }
+}

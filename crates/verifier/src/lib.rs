@@ -1,0 +1,57 @@
+//! `verifier` — the deterministic-simulation and differential-testing
+//! harness of the COnfLUX reproduction.
+//!
+//! The workspace contains five+ implementations of the same mathematics
+//! (serial blocked LU, the orchestrated COnfLUX driver, the threaded SPMD
+//! driver, the 2D ScaLAPACK-like baseline, the CANDMC-like 2.5D baseline,
+//! a 2.5D Cholesky, and a serving layer on top). That redundancy is an
+//! asset: any disagreement between them is a bug in at least one. This
+//! crate turns that observation into an always-on harness:
+//!
+//! * [`scenario`] — a seeded generator mapping every `u64` to a complete
+//!   randomized workload (kernel, dimensions, `[q,q,c]` grid, matrix
+//!   class, fault plan), with greedy shrinking of failures to minimal
+//!   reproducers and a text encoding for corpus files,
+//! * [`matgen`] — deterministic matrices per class, including the
+//!   adversarial ones (near-singular, exactly rank-deficient, Wilkinson's
+//!   `2^(n-1)`-growth matrix),
+//! * [`oracle`] — runs one scenario through every applicable
+//!   implementation and checks pairwise equivalence contracts,
+//! * [`invariants`] — a pluggable battery of structural checks applied to
+//!   every run's artifacts: send/recv conservation, trace/counter
+//!   reconciliation, happens-before acyclicity, critical-path dominance,
+//!   the parallel I/O lower bound, pivot-growth sanity,
+//! * [`corpus`] — persistence of failing seeds, replayed as regression
+//!   tests (`tests/verify_corpus.rs` at the workspace root),
+//! * [`report`] — campaign aggregation and the `BENCH_verify.json` writer.
+//!
+//! The crate is deliberately dependency-free (no `rand`): every byte of a
+//! workload derives from the corpus seed through an in-crate [`rng`]
+//! stream, so a failure reproduces bit-for-bit anywhere.
+//!
+//! ```
+//! use verifier::{run_scenario, Scenario};
+//!
+//! let sc = Scenario::decode(
+//!     "kernel=lu n=16 v=4 q=2 c=2 class=well mseed=7 nrhs=1 faults=none",
+//! )
+//! .unwrap();
+//! let report = run_scenario(&sc);
+//! assert!(report.passed(), "{}", report.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod invariants;
+pub mod matgen;
+pub mod oracle;
+pub mod report;
+pub mod rng;
+pub mod scenario;
+
+pub use invariants::{check_all, default_invariants, Invariant, RunArtifacts, Violation};
+pub use oracle::{run_scenario, CheckOutcome, ScenarioReport};
+pub use report::FuzzSummary;
+pub use rng::SplitMix64;
+pub use scenario::{minimize, FaultSpec, Kernel, MatrixClass, Scenario};

@@ -1,0 +1,161 @@
+//! Deterministic matrix generation for every [`MatrixClass`].
+//!
+//! All entries derive from the scenario's `mseed` through the in-crate
+//! [`SplitMix64`] stream, so a corpus line reproduces the matrix bit-for-bit
+//! in any environment.
+
+use crate::rng::SplitMix64;
+use crate::scenario::MatrixClass;
+use denselin::Matrix;
+
+/// Generate the general (LU-shaped) input matrix for a class.
+pub fn matrix(class: MatrixClass, n: usize, mseed: u64) -> Matrix {
+    let mut r = SplitMix64::new(mseed);
+    match class {
+        MatrixClass::Well => Matrix::from_fn(n, n, |_, _| r.symmetric()),
+        MatrixClass::DiagDom => {
+            let mut a = Matrix::from_fn(n, n, |_, _| r.symmetric());
+            for i in 0..n {
+                let row_sum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+                a[(i, i)] = row_sum + 1.0;
+            }
+            a
+        }
+        MatrixClass::Ill => {
+            // row scales spanning ~8 orders of magnitude
+            Matrix::from_fn(n, n, |i, _| {
+                let scale = 10f64.powf(-8.0 * i as f64 / (n.max(2) - 1) as f64);
+                scale * r.symmetric()
+            })
+        }
+        MatrixClass::Hilbert => Matrix::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64),
+        MatrixClass::NearSingular => {
+            let mut a = Matrix::from_fn(n, n, |_, _| r.symmetric());
+            if n >= 2 {
+                // last row = average of the others + O(1e-10) perturbation
+                let coeffs: Vec<f64> = (0..n - 1).map(|_| r.symmetric()).collect();
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for i in 0..n - 1 {
+                        s += coeffs[i] * a[(i, j)];
+                    }
+                    a[(n - 1, j)] = s / (n - 1) as f64 + 1e-10 * r.symmetric();
+                }
+            }
+            a
+        }
+        MatrixClass::RankDef => {
+            // exact product of n×(n-1) and (n-1)×n factors: rank <= n-1
+            let k = n.saturating_sub(1).max(1);
+            let b = Matrix::from_fn(n, k, |_, _| r.symmetric());
+            let c = Matrix::from_fn(k, n, |_, _| r.symmetric());
+            b.matmul(&c)
+        }
+        MatrixClass::Wilkinson => Matrix::from_fn(n, n, |i, j| {
+            if j == n - 1 {
+                1.0
+            } else if i == j {
+                1.0
+            } else if i > j {
+                -1.0
+            } else {
+                0.0
+            }
+        }),
+    }
+}
+
+/// Generate a symmetric positive-definite matrix in the flavor of `class`
+/// (Cholesky and solver-service scenarios): `B·Bᵀ + n·I` over the class's
+/// base matrix, which is SPD for any `B`.
+pub fn spd_matrix(class: MatrixClass, n: usize, mseed: u64) -> Matrix {
+    let base = match class {
+        // reuse the class textures that make sense as SPD seeds
+        MatrixClass::Ill => matrix(MatrixClass::Ill, n, mseed),
+        MatrixClass::DiagDom => matrix(MatrixClass::DiagDom, n, mseed),
+        _ => matrix(MatrixClass::Well, n, mseed),
+    };
+    let mut a = base.matmul(&base.transpose());
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// Generate a right-hand-side block (`n × nrhs`) from the scenario stream.
+/// A distinct mix constant keeps it independent of the matrix entries.
+pub fn rhs(n: usize, nrhs: usize, mseed: u64) -> Matrix {
+    let mut r = SplitMix64::new(mseed ^ 0xb5ad4eceda1ce2a9);
+    Matrix::from_fn(n, nrhs, |_, _| r.symmetric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for class in [
+            MatrixClass::Well,
+            MatrixClass::DiagDom,
+            MatrixClass::Ill,
+            MatrixClass::Hilbert,
+            MatrixClass::NearSingular,
+            MatrixClass::RankDef,
+            MatrixClass::Wilkinson,
+        ] {
+            let a = matrix(class, 12, 99);
+            let b = matrix(class, 12, 99);
+            assert!(a.allclose(&b, 0.0), "{class:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn rankdef_is_singular() {
+        let a = matrix(MatrixClass::RankDef, 10, 7);
+        match denselin::lu_unblocked(&a) {
+            Err(_) => {}
+            Ok(f) => {
+                // if pivoting survives numerically, the last pivot is tiny
+                let min_pivot = (0..10)
+                    .map(|i| f.lu[(i, i)].abs())
+                    .fold(f64::INFINITY, f64::min);
+                assert!(min_pivot < 1e-8, "min pivot {min_pivot} not tiny");
+            }
+        }
+    }
+
+    #[test]
+    fn wilkinson_growth_is_exponential() {
+        let n = 12;
+        let a = matrix(MatrixClass::Wilkinson, n, 0);
+        let f = denselin::lu_unblocked(&a).expect("wilkinson is nonsingular");
+        let g = f.growth_factor(&a);
+        let expected = 2f64.powi(n as i32 - 1);
+        assert!(
+            g > expected * 0.5,
+            "growth {g} far below 2^(n-1) = {expected}"
+        );
+    }
+
+    #[test]
+    fn spd_matrices_cholesky_factor() {
+        for class in [MatrixClass::Well, MatrixClass::DiagDom, MatrixClass::Ill] {
+            let a = spd_matrix(class, 16, 3);
+            let l = denselin::cholesky_unblocked(&a).expect("SPD by construction");
+            assert!(denselin::cholesky::cholesky_residual(&a, &l) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn diagdom_rows_are_dominant() {
+        let a = matrix(MatrixClass::DiagDom, 9, 4);
+        for i in 0..9 {
+            let off: f64 = (0..9)
+                .filter(|&j| j != i)
+                .map(|j| a[(i, j)].abs())
+                .sum();
+            assert!(a[(i, i)].abs() > off);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fuzz-campaign aggregation and the hand-rolled JSON writer behind
+//! `BENCH_verify.json` (the workspace carries no serde; cf. the other
+//! `BENCH_*.json` writers in `crates/bench`).
+
+use std::collections::BTreeMap;
+
+use crate::oracle::ScenarioReport;
+use crate::scenario::Scenario;
+
+/// Aggregated result of a fuzz campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzSummary {
+    /// Scenarios run.
+    pub total: usize,
+    /// Scenarios in which every check passed.
+    pub passed: usize,
+    /// Count of checks evaluated, by name.
+    pub checks_run: BTreeMap<String, usize>,
+    /// Count of check failures, by name.
+    pub checks_failed: BTreeMap<String, usize>,
+    /// Failing scenarios: `(shrunk scenario, failing check names, detail)`.
+    pub failures: Vec<(Scenario, Vec<String>, String)>,
+}
+
+impl FuzzSummary {
+    /// Fold one scenario report into the summary. `shrunk` is the minimal
+    /// reproducer recorded for a failure (the original scenario if
+    /// shrinking made no progress).
+    pub fn absorb(&mut self, report: &ScenarioReport, shrunk: Option<&Scenario>) {
+        self.total += 1;
+        for o in &report.outcomes {
+            *self.checks_run.entry(o.name.clone()).or_default() += 1;
+            if !o.passed {
+                *self.checks_failed.entry(o.name.clone()).or_default() += 1;
+            }
+        }
+        if report.passed() {
+            self.passed += 1;
+        } else {
+            let names: Vec<String> = report
+                .failures()
+                .iter()
+                .map(|o| o.name.clone())
+                .collect();
+            let detail = report
+                .failures()
+                .first()
+                .map(|o| o.detail.clone())
+                .unwrap_or_default();
+            self.failures.push((
+                shrunk.unwrap_or(&report.scenario).clone(),
+                names,
+                detail,
+            ));
+        }
+    }
+
+    /// Did the whole campaign pass?
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty() && self.total == self.passed
+    }
+
+    /// Render as the `BENCH_verify.json` document.
+    pub fn to_json(&self, scenarios_requested: usize, base_seed: u64) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"verify-fuzz\",\n");
+        s.push_str(&format!(
+            "  \"scenarios_requested\": {scenarios_requested},\n"
+        ));
+        s.push_str(&format!("  \"base_seed\": {base_seed},\n"));
+        s.push_str(&format!("  \"scenarios_run\": {},\n", self.total));
+        s.push_str(&format!("  \"scenarios_passed\": {},\n", self.passed));
+        s.push_str(&format!(
+            "  \"scenarios_failed\": {},\n",
+            self.failures.len()
+        ));
+        s.push_str("  \"checks\": {\n");
+        let mut first = true;
+        for (name, run) in &self.checks_run {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let failed = self.checks_failed.get(name).copied().unwrap_or(0);
+            s.push_str(&format!(
+                "    \"{}\": {{\"run\": {run}, \"failed\": {failed}}}",
+                escape(name)
+            ));
+        }
+        s.push_str("\n  },\n");
+        s.push_str("  \"failures\": [\n");
+        for (i, (sc, names, detail)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            s.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"checks\": [{}], \"detail\": \"{}\"}}",
+                escape(&sc.encode()),
+                names
+                    .iter()
+                    .map(|n| format!("\"{}\"", escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                escape(detail)
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CheckOutcome;
+
+    fn report(passed: bool) -> ScenarioReport {
+        ScenarioReport {
+            scenario: Scenario::from_seed(1),
+            outcomes: vec![CheckOutcome {
+                name: "serial-residual".into(),
+                passed,
+                detail: if passed { String::new() } else { "boom \"q\"".into() },
+            }],
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_json_shape() {
+        let mut s = FuzzSummary::default();
+        s.absorb(&report(true), None);
+        s.absorb(&report(false), None);
+        assert_eq!(s.total, 2);
+        assert_eq!(s.passed, 1);
+        assert!(!s.clean());
+        let json = s.to_json(2, 0);
+        assert!(json.contains("\"scenarios_run\": 2"));
+        assert!(json.contains("\"serial-residual\": {\"run\": 2, \"failed\": 1}"));
+        assert!(json.contains("\\\"q\\\""), "quotes escaped: {json}");
+        // no raw control characters or unescaped quotes inside strings
+        assert!(!json.contains('\r'));
+    }
+}

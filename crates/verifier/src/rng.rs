@@ -1,0 +1,76 @@
+//! A tiny deterministic generator (SplitMix64) owned by this crate.
+//!
+//! The verifier deliberately does **not** use the `rand` crate: a corpus
+//! line must reproduce the *identical* matrix bits on every toolchain and
+//! in every environment, so the whole scenario — dimensions, grid, matrix
+//! entries, fault schedule — derives from one `u64` through this stream.
+
+/// SplitMix64: the standard 64-bit mixing generator (Steele et al.), used
+/// as both the scenario-shape and matrix-entry stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[-1, 1)`.
+    pub fn symmetric(&mut self) -> f64 {
+        2.0 * self.unit() - 1.0
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(7);
+        let mean: f64 = (0..10_000).map(|_| c.unit()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(1);
+        for bound in 1..50usize {
+            for _ in 0..20 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}

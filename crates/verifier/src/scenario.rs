@@ -1,0 +1,480 @@
+//! The scenario DSL: one `u64` seed expands into a complete randomized
+//! workload — kernel, dimensions, processor grid, matrix class, RHS count,
+//! fault schedule — and every scenario round-trips through a compact
+//! `k=v` text encoding so failing cases can be persisted to a corpus file
+//! and replayed (see [`crate::corpus`]).
+
+use crate::rng::SplitMix64;
+
+/// Which kernel family a scenario exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// LU factorization across every implementation in the workspace.
+    Lu,
+    /// 2.5D Cholesky vs the serial blocked reference.
+    Cholesky,
+    /// The `solversrv` serving layer vs fresh serial solves.
+    Solve,
+}
+
+impl Kernel {
+    fn token(self) -> &'static str {
+        match self {
+            Kernel::Lu => "lu",
+            Kernel::Cholesky => "cholesky",
+            Kernel::Solve => "solve",
+        }
+    }
+}
+
+/// Input-matrix family. The adversarial classes are the point: Tang's
+/// reexamination of COnfLUX (arXiv:2404.06713) found gaps that example
+/// matrices never hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatrixClass {
+    /// Uniform `[-1, 1)` entries — generic well-conditioned.
+    Well,
+    /// Diagonally dominant (every pivoting strategy agrees).
+    DiagDom,
+    /// Row-graded scaling over ~8 orders of magnitude (ill-conditioned).
+    Ill,
+    /// Hilbert-like `1/(i+j+1)` — classically ill-conditioned.
+    Hilbert,
+    /// A random matrix pushed to within `~1e-10` of singularity.
+    NearSingular,
+    /// Exactly rank-deficient (`rank = n - 1`): factorizations must agree
+    /// that the matrix is degenerate.
+    RankDef,
+    /// Wilkinson's growth matrix: partial-pivoting growth `2^(n-1)`.
+    Wilkinson,
+}
+
+impl MatrixClass {
+    fn token(self) -> &'static str {
+        match self {
+            MatrixClass::Well => "well",
+            MatrixClass::DiagDom => "diagdom",
+            MatrixClass::Ill => "ill",
+            MatrixClass::Hilbert => "hilbert",
+            MatrixClass::NearSingular => "nearsing",
+            MatrixClass::RankDef => "rankdef",
+            MatrixClass::Wilkinson => "wilkinson",
+        }
+    }
+
+    /// Classes whose factorization is expected to succeed with a small
+    /// residual (possibly growth-scaled for [`MatrixClass::Wilkinson`]).
+    pub fn is_solvable(self) -> bool {
+        !matches!(self, MatrixClass::RankDef)
+    }
+}
+
+/// Fault schedule attached to a scenario (orchestrated accountant runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// No faults.
+    None,
+    /// Seeded message drops, rate in thousandths.
+    Drop(u32),
+    /// Seeded message duplication, rate in thousandths.
+    Dup(u32),
+    /// Crash `rank` at algorithm step `step`.
+    Crash {
+        /// The rank to kill.
+        rank: usize,
+        /// The outer-loop step at which it dies.
+        step: usize,
+    },
+}
+
+impl FaultSpec {
+    fn encode(self) -> String {
+        match self {
+            FaultSpec::None => "none".into(),
+            FaultSpec::Drop(m) => format!("drop:{m}"),
+            FaultSpec::Dup(m) => format!("dup:{m}"),
+            FaultSpec::Crash { rank, step } => format!("crash:{rank}:{step}"),
+        }
+    }
+}
+
+/// One fully specified randomized workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Kernel family.
+    pub kernel: Kernel,
+    /// Block size `v` (panel width); `n = v * nb`.
+    pub v: usize,
+    /// Number of block steps.
+    pub nb: usize,
+    /// Grid side `q` (the grid is `[q, q, c]`).
+    pub q: usize,
+    /// Replication layers `c`.
+    pub c: usize,
+    /// Input matrix family.
+    pub class: MatrixClass,
+    /// Matrix-entry seed (independent of the shape so shrinking keeps the
+    /// data stream).
+    pub mseed: u64,
+    /// RHS columns ([`Kernel::Solve`] only).
+    pub nrhs: usize,
+    /// Fault schedule ([`Kernel::Lu`] orchestrated runs only).
+    pub faults: FaultSpec,
+}
+
+impl Scenario {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.v * self.nb
+    }
+
+    /// Total ranks of the `[q, q, c]` grid.
+    pub fn ranks(&self) -> usize {
+        self.q * self.q * self.c
+    }
+
+    /// Whether the threaded SPMD driver's restrictions are met (Dense
+    /// masking LU on a power-of-two `q`, and few enough real threads to be
+    /// cheap to spawn).
+    pub fn threaded_eligible(&self) -> bool {
+        self.kernel == Kernel::Lu && self.q.is_power_of_two() && self.ranks() <= 8
+    }
+
+    /// Expand `seed` into a scenario. The mapping is total: every `u64`
+    /// yields a valid scenario, so a fuzz campaign is just a seed range.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut r = SplitMix64::new(seed);
+        let kernel = *r.choose(&[
+            Kernel::Lu,
+            Kernel::Lu,
+            Kernel::Lu,
+            Kernel::Lu,
+            Kernel::Cholesky,
+            Kernel::Solve,
+        ]);
+        let class = match kernel {
+            Kernel::Lu => *r.choose(&[
+                MatrixClass::Well,
+                MatrixClass::Well,
+                MatrixClass::DiagDom,
+                MatrixClass::Ill,
+                MatrixClass::Hilbert,
+                MatrixClass::NearSingular,
+                MatrixClass::RankDef,
+                MatrixClass::Wilkinson,
+            ]),
+            // Cholesky needs SPD-able input; the service solves systems
+            Kernel::Cholesky | Kernel::Solve => *r.choose(&[
+                MatrixClass::Well,
+                MatrixClass::DiagDom,
+                MatrixClass::Ill,
+            ]),
+        };
+        let c = *r.choose(&[1usize, 1, 2, 2, 3]);
+        let q = *r.choose(&[1usize, 2, 2, 2, 3]);
+        let mut v = *r.choose(&[2usize, 4, 4, 8, 8, 16]);
+        if v < c {
+            v = c; // the drivers require v >= c
+        }
+        let mut nb = 2 + r.below(5); // 2..=6 block steps
+        if class == MatrixClass::Wilkinson {
+            // growth is 2^(n-1): keep n small enough that residuals stay
+            // representable and tolerances meaningful
+            v = v.min(4).max(c);
+            nb = nb.min(5);
+        }
+        let nrhs = 1 + r.below(3);
+        let faults = if kernel == Kernel::Lu {
+            match r.below(8) {
+                0 => FaultSpec::Drop(20 + r.below(80) as u32),
+                1 => FaultSpec::Dup(20 + r.below(80) as u32),
+                2 => FaultSpec::Crash {
+                    rank: r.below(q * q * c),
+                    step: r.below(nb),
+                },
+                _ => FaultSpec::None,
+            }
+        } else {
+            FaultSpec::None
+        };
+        Scenario {
+            kernel,
+            v,
+            nb,
+            q,
+            c,
+            class,
+            mseed: r.next_u64(),
+            nrhs,
+            faults,
+        }
+    }
+
+    /// Compact one-line `k=v` encoding (the corpus format).
+    pub fn encode(&self) -> String {
+        format!(
+            "kernel={} n={} v={} q={} c={} class={} mseed={} nrhs={} faults={}",
+            self.kernel.token(),
+            self.n(),
+            self.v,
+            self.q,
+            self.c,
+            self.class.token(),
+            self.mseed,
+            self.nrhs,
+            self.faults.encode(),
+        )
+    }
+
+    /// Parse a line produced by [`Scenario::encode`] (or written by hand).
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let mut kernel = None;
+        let mut n = None;
+        let mut v = None;
+        let mut q = None;
+        let mut c = None;
+        let mut class = None;
+        let mut mseed = 0u64;
+        let mut nrhs = 1usize;
+        let mut faults = FaultSpec::None;
+        for tok in line.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("token `{tok}` is not k=v"))?;
+            match key {
+                "kernel" => {
+                    kernel = Some(match val {
+                        "lu" => Kernel::Lu,
+                        "cholesky" => Kernel::Cholesky,
+                        "solve" => Kernel::Solve,
+                        other => return Err(format!("unknown kernel `{other}`")),
+                    })
+                }
+                "n" => n = Some(val.parse::<usize>().map_err(|e| e.to_string())?),
+                "v" => v = Some(val.parse::<usize>().map_err(|e| e.to_string())?),
+                "q" => q = Some(val.parse::<usize>().map_err(|e| e.to_string())?),
+                "c" => c = Some(val.parse::<usize>().map_err(|e| e.to_string())?),
+                "class" => {
+                    class = Some(match val {
+                        "well" => MatrixClass::Well,
+                        "diagdom" => MatrixClass::DiagDom,
+                        "ill" => MatrixClass::Ill,
+                        "hilbert" => MatrixClass::Hilbert,
+                        "nearsing" => MatrixClass::NearSingular,
+                        "rankdef" => MatrixClass::RankDef,
+                        "wilkinson" => MatrixClass::Wilkinson,
+                        other => return Err(format!("unknown class `{other}`")),
+                    })
+                }
+                "mseed" => mseed = val.parse::<u64>().map_err(|e| e.to_string())?,
+                "nrhs" => nrhs = val.parse::<usize>().map_err(|e| e.to_string())?,
+                "faults" => {
+                    let parts: Vec<&str> = val.split(':').collect();
+                    faults = match parts.as_slice() {
+                        ["none"] => FaultSpec::None,
+                        ["drop", m] => FaultSpec::Drop(m.parse().map_err(|_| "bad drop rate")?),
+                        ["dup", m] => FaultSpec::Dup(m.parse().map_err(|_| "bad dup rate")?),
+                        ["crash", r, s] => FaultSpec::Crash {
+                            rank: r.parse().map_err(|_| "bad crash rank")?,
+                            step: s.parse().map_err(|_| "bad crash step")?,
+                        },
+                        _ => return Err(format!("unknown faults `{val}`")),
+                    };
+                }
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        let kernel = kernel.ok_or("missing kernel")?;
+        let v = v.ok_or("missing v")?;
+        let n = n.ok_or("missing n")?;
+        if v == 0 || n == 0 || n % v != 0 {
+            return Err(format!("need v | n, got n={n} v={v}"));
+        }
+        let sc = Scenario {
+            kernel,
+            v,
+            nb: n / v,
+            q: q.ok_or("missing q")?,
+            c: c.ok_or("missing c")?,
+            class: class.ok_or("missing class")?,
+            mseed,
+            nrhs,
+            faults,
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Structural validity (the generator guarantees this; hand-written
+    /// corpus lines are checked).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.q == 0 || self.c == 0 {
+            return Err("q and c must be positive".into());
+        }
+        if self.v < self.c {
+            return Err(format!("v={} must be >= c={}", self.v, self.c));
+        }
+        if self.nb < 1 {
+            return Err("need at least one block step".into());
+        }
+        if let FaultSpec::Crash { rank, step } = self.faults {
+            if rank >= self.ranks() || step >= self.nb {
+                return Err(format!(
+                    "crash target ({rank}, {step}) outside p={} nb={}",
+                    self.ranks(),
+                    self.nb
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Strictly-smaller variants to try while shrinking a failure, most
+    /// aggressive first. Every candidate is structurally valid.
+    pub fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        let mut push = |sc: Scenario| {
+            if sc.validate().is_ok() && sc != *self {
+                out.push(sc);
+            }
+        };
+        // fewer block steps (smaller n)
+        if self.nb > 2 {
+            push(Scenario {
+                nb: self.nb / 2,
+                ..self.clone()
+            });
+            push(Scenario {
+                nb: self.nb - 1,
+                ..self.clone()
+            });
+        }
+        // narrower panels
+        if self.v > 2 && self.v / 2 >= self.c {
+            push(Scenario {
+                v: self.v / 2,
+                ..self.clone()
+            });
+        }
+        // flatter grids
+        if self.c > 1 {
+            push(Scenario {
+                c: 1,
+                faults: FaultSpec::None,
+                ..self.clone()
+            });
+        }
+        if self.q > 1 {
+            push(Scenario {
+                q: 1,
+                faults: FaultSpec::None,
+                ..self.clone()
+            });
+        }
+        // simpler data
+        if self.class != MatrixClass::Well {
+            push(Scenario {
+                class: MatrixClass::Well,
+                ..self.clone()
+            });
+        }
+        // no faults
+        if self.faults != FaultSpec::None {
+            push(Scenario {
+                faults: FaultSpec::None,
+                ..self.clone()
+            });
+        }
+        // one RHS
+        if self.kernel == Kernel::Solve && self.nrhs > 1 {
+            push(Scenario {
+                nrhs: 1,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Greedily minimize a failing scenario: repeatedly move to the first
+/// shrink candidate that still fails `fails`, until none does. Returns the
+/// minimal reproducer and the number of successful shrink steps.
+pub fn minimize(start: &Scenario, mut fails: impl FnMut(&Scenario) -> bool) -> (Scenario, usize) {
+    let mut current = start.clone();
+    let mut steps = 0usize;
+    'outer: for _ in 0..64 {
+        for cand in current.shrink_candidates() {
+            if fails(&cand) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_yields_a_valid_scenario() {
+        for seed in 0..2_000u64 {
+            let sc = Scenario::from_seed(seed);
+            sc.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(sc.n() % sc.v == 0);
+            assert!(sc.v >= sc.c);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for seed in 0..500u64 {
+            let sc = Scenario::from_seed(seed);
+            let line = sc.encode();
+            let back = Scenario::decode(&line).expect("decode");
+            assert_eq!(sc, back, "roundtrip failed for `{line}`");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Scenario::decode("kernel=lu").is_err());
+        assert!(Scenario::decode("kernel=nope n=8 v=4 q=1 c=1 class=well").is_err());
+        assert!(Scenario::decode("kernel=lu n=9 v=4 q=1 c=1 class=well").is_err());
+        assert!(
+            Scenario::decode("kernel=lu n=8 v=4 q=1 c=1 class=well faults=crash:99:0").is_err()
+        );
+    }
+
+    #[test]
+    fn shrinking_reaches_a_fixed_point() {
+        let sc = Scenario::from_seed(12345);
+        // a predicate that always fails drives the scenario to its floor
+        let (minimal, steps) = minimize(&sc, |_| true);
+        assert!(minimal.shrink_candidates().iter().all(|c| c == &minimal) || steps > 0);
+        assert!(minimal.nb <= sc.nb && minimal.v <= sc.v);
+        // and the floor is small
+        assert!(minimal.n() <= sc.n());
+        assert_eq!(minimal.class, MatrixClass::Well);
+        assert_eq!(minimal.faults, FaultSpec::None);
+    }
+
+    #[test]
+    fn wilkinson_scenarios_stay_small() {
+        for seed in 0..5_000u64 {
+            let sc = Scenario::from_seed(seed);
+            if sc.class == MatrixClass::Wilkinson {
+                assert!(sc.n() <= 20, "wilkinson n={} too large", sc.n());
+            }
+        }
+    }
+}

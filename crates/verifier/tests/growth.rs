@@ -1,0 +1,84 @@
+//! Pivot-growth property: COnfLUX's row-masking tournament pivoting must
+//! stay within a modest factor of full partial pivoting.
+//!
+//! Grigori, Demmel & Xiang (SC'08) prove tournament pivoting is stable "as
+//! partial pivoting" up to a factor exponential only in the reduction-tree
+//! depth; in practice the ratio is small. This test pins that empirically
+//! over random and adversarial inputs, including Wilkinson's matrix where
+//! partial pivoting growth is exactly `2^(n-1)` — already the worst case,
+//! which the tournament must not exceed by more than the tree-depth slack.
+
+use conflux::{factorize, ConfluxConfig, LuGrid};
+use denselin::lu_unblocked;
+use verifier::matgen;
+use verifier::scenario::MatrixClass;
+
+/// Measured growth of the masking-tournament LU over the whole matrix.
+fn tournament_growth(a: &denselin::Matrix, n: usize, v: usize, q: usize, c: usize) -> f64 {
+    let grid = LuGrid::new(q * q * c, q, c);
+    let run = factorize(&ConfluxConfig::dense(n, v, grid), Some(a));
+    run.factors
+        .expect("dense run yields factors")
+        .to_factorization()
+        .growth_factor(a)
+}
+
+/// Growth of the serial partial-pivoting reference.
+fn partial_growth(a: &denselin::Matrix) -> f64 {
+    lu_unblocked(a).expect("nonsingular").growth_factor(a)
+}
+
+/// Ratio bound for the tournament over partial pivoting. The reduction
+/// tree over `q` row groups costs at most a factor `2^depth` in theory;
+/// the sweep below stays under 4x, pinned here with headroom so a real
+/// stability regression (a broken playoff, a wrong mask) still trips it.
+const RATIO_BOUND: f64 = 16.0;
+
+#[test]
+fn tournament_growth_within_bound_of_partial_pivoting_random() {
+    let mut worst: f64 = 0.0;
+    for seed in 0..40u64 {
+        for &(v, nb, q, c) in &[(4usize, 4usize, 2usize, 1usize), (4, 6, 2, 2), (8, 3, 3, 1)] {
+            let n = v * nb;
+            let class = if seed % 3 == 0 {
+                MatrixClass::Ill
+            } else {
+                MatrixClass::Well
+            };
+            let a = matgen::matrix(class, n, seed.wrapping_mul(0x9e37).wrapping_add(v as u64));
+            let t = tournament_growth(&a, n, v, q, c);
+            let p = partial_growth(&a);
+            let ratio = t / p.max(f64::MIN_POSITIVE);
+            worst = worst.max(ratio);
+            assert!(
+                ratio <= RATIO_BOUND,
+                "seed {seed} n={n} v={v} grid=[{q},{q},{c}] {class:?}: \
+                 tournament growth {t:.3e} vs partial {p:.3e} (ratio {ratio:.2})"
+            );
+        }
+    }
+    // the bound must not be vacuous: typical ratios sit near 1
+    assert!(worst >= 0.5, "sweep degenerate: worst ratio {worst:.3}");
+}
+
+#[test]
+fn tournament_growth_within_bound_of_partial_pivoting_wilkinson() {
+    // Wilkinson's matrix: partial pivoting growth is exactly 2^(n-1); the
+    // tournament must track it, not square it.
+    for &(v, nb, q, c) in &[(2usize, 4usize, 2usize, 1usize), (4, 4, 2, 2), (2, 6, 1, 1)] {
+        let n = v * nb;
+        let a = matgen::matrix(MatrixClass::Wilkinson, n, 0);
+        let t = tournament_growth(&a, n, v, q, c);
+        let p = partial_growth(&a);
+        let expected = 2f64.powi(n as i32 - 1);
+        assert!(
+            (p / expected - 1.0).abs() < 1e-9,
+            "partial pivoting growth on Wilkinson must be 2^(n-1), got {p:.6e}"
+        );
+        assert!(
+            t <= RATIO_BOUND * p,
+            "n={n} v={v} grid=[{q},{q},{c}]: tournament growth {t:.3e} \
+             exceeds {RATIO_BOUND}x the partial-pivoting growth {p:.3e}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic end-to-end exercises of the differential oracle: one
+//! hand-picked scenario per kernel family and fault shape, plus the
+//! shrinking loop. (The randomized sweep lives in the `verify_fuzz` bench
+//! bin; these pins run under plain `cargo test`.)
+
+use verifier::{minimize, run_scenario, FuzzSummary, Scenario};
+
+fn assert_passes(line: &str) {
+    let sc = Scenario::decode(line).expect("scenario line");
+    let report = run_scenario(&sc);
+    assert!(
+        report.passed(),
+        "{}\n{}",
+        report.summary(),
+        report
+            .failures()
+            .iter()
+            .map(|o| format!("  {}: {}", o.name, o.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lu_all_implementations_agree() {
+    assert_passes("kernel=lu n=16 v=4 q=2 c=2 class=well mseed=7 nrhs=1 faults=none");
+    assert_passes("kernel=lu n=24 v=4 q=2 c=1 class=diagdom mseed=8 nrhs=1 faults=none");
+    assert_passes("kernel=lu n=12 v=4 q=1 c=2 class=hilbert mseed=9 nrhs=1 faults=none");
+}
+
+#[test]
+fn lu_degenerate_classes_agree_on_degeneracy() {
+    assert_passes("kernel=lu n=12 v=4 q=2 c=1 class=rankdef mseed=10 nrhs=1 faults=none");
+    assert_passes("kernel=lu n=12 v=4 q=1 c=1 class=nearsing mseed=11 nrhs=1 faults=none");
+    assert_passes("kernel=lu n=8 v=2 q=2 c=1 class=wilkinson mseed=12 nrhs=1 faults=none");
+}
+
+#[test]
+fn lu_fault_plans_keep_contracts() {
+    // drops charge retransmissions to the sender; conservation relaxes
+    assert_passes("kernel=lu n=16 v=4 q=2 c=1 class=well mseed=13 nrhs=1 faults=drop:60");
+    // duplicates charge both sides; conservation stays exact
+    assert_passes("kernel=lu n=16 v=4 q=2 c=1 class=well mseed=14 nrhs=1 faults=dup:60");
+    // crash of a replication-layer rank on a grid with >2 ranks: failover
+    assert_passes("kernel=lu n=16 v=4 q=2 c=2 class=well mseed=15 nrhs=1 faults=crash:6:1");
+    // crash of a layer-0 rank: structured abort
+    assert_passes("kernel=lu n=16 v=4 q=2 c=2 class=well mseed=16 nrhs=1 faults=crash:0:1");
+}
+
+#[test]
+fn cholesky_and_solve_scenarios_pass() {
+    assert_passes("kernel=cholesky n=16 v=4 q=2 c=2 class=well mseed=17 nrhs=1 faults=none");
+    assert_passes("kernel=cholesky n=12 v=4 q=1 c=1 class=ill mseed=18 nrhs=1 faults=none");
+    assert_passes("kernel=solve n=12 v=4 q=1 c=1 class=well mseed=19 nrhs=3 faults=none");
+    assert_passes("kernel=solve n=16 v=4 q=1 c=1 class=diagdom mseed=20 nrhs=2 faults=none");
+}
+
+#[test]
+fn minimize_shrinks_to_the_failing_dimension() {
+    // a synthetic predicate failing exactly on c > 1 must shrink away
+    // everything else while keeping c > 1
+    let sc = Scenario::decode("kernel=lu n=48 v=8 q=2 c=3 class=hilbert mseed=21 nrhs=3 faults=drop:40")
+        .unwrap();
+    let (minimal, steps) = minimize(&sc, |cand| cand.c > 1);
+    assert!(steps > 0, "shrinking must make progress");
+    assert!(minimal.c > 1, "the failing property must be preserved");
+    assert!(minimal.n() < sc.n(), "the reproducer must be smaller");
+    assert_eq!(minimal.faults, verifier::FaultSpec::None);
+}
+
+#[test]
+fn fuzz_summary_aggregates_campaigns() {
+    let mut summary = FuzzSummary::default();
+    for seed in 0..5u64 {
+        let sc = Scenario::from_seed(seed);
+        summary.absorb(&run_scenario(&sc), None);
+    }
+    assert_eq!(summary.total, 5);
+    assert_eq!(summary.passed, 5, "seeds 0..5 are clean: {:?}", summary.failures);
+    let json = summary.to_json(5, 0);
+    assert!(json.contains("\"scenarios_run\": 5"));
+}

@@ -18,3 +18,4 @@ pub use iobound;
 pub use pebbling;
 pub use simnet;
 pub use solversrv;
+pub use verifier;

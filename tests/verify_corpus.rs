@@ -1,0 +1,45 @@
+//! Corpus regression replay: every scenario in `tests/corpus/verify_seeds.txt`
+//! once failed the differential oracle (see the comments there for what each
+//! line caught). Replaying them on every test run keeps fixed bugs fixed.
+//!
+//! The corpus format is the `verifier::Scenario` text encoding; `verify_fuzz`
+//! appends newly shrunk reproducers automatically. See TESTING.md.
+
+use std::path::Path;
+
+use verifier::{corpus, run_scenario};
+
+fn corpus_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/verify_seeds.txt")
+}
+
+#[test]
+fn corpus_parses_and_is_nonempty() {
+    let scenarios = corpus::load(&corpus_path()).expect("corpus must parse");
+    assert!(
+        !scenarios.is_empty(),
+        "the corpus ships with the reproducers of every bug verify-fuzz caught"
+    );
+}
+
+#[test]
+fn every_corpus_scenario_passes() {
+    let scenarios = corpus::load(&corpus_path()).expect("corpus must parse");
+    let mut failures = Vec::new();
+    for sc in &scenarios {
+        let report = run_scenario(sc);
+        if !report.passed() {
+            let mut lines = vec![report.summary()];
+            for o in report.failures() {
+                lines.push(format!("    {}: {}", o.name, o.detail));
+            }
+            failures.push(lines.join("\n"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus regression(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
