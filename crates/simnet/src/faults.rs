@@ -28,6 +28,7 @@ const SALT_DROP: u64 = 0xD0D0_0001;
 const SALT_DUP: u64 = 0xD0D0_0002;
 const SALT_DELAY: u64 = 0xD0D0_0003;
 const SALT_REORDER: u64 = 0xD0D0_0004;
+const SALT_JITTER: u64 = 0xD0D0_0005;
 
 /// Stateless 64-bit mixer (splitmix64 finalizer over a combined key).
 fn mix(seed: u64, salt: u64, src: Rank, dst: Rank, seq: u64) -> u64 {
@@ -54,6 +55,19 @@ pub struct CrashEvent {
     /// The rank to kill.
     pub rank: Rank,
     /// The fail-point index at which it dies.
+    pub at_step: usize,
+}
+
+/// A scheduled recovery: `rank` comes back the first time the revive
+/// clock reaches `at_step`. The inverse of [`CrashEvent`], consumed by
+/// supervisors that manage restartable workers (e.g. the `solversrv`
+/// shard cluster); the SPMD backends ignore revives — a crashed SPMD rank
+/// stays dead for the region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReviveEvent {
+    /// The rank to bring back.
+    pub rank: Rank,
+    /// The revive-clock step at which it returns.
     pub at_step: usize,
 }
 
@@ -87,6 +101,27 @@ impl RetryPolicy {
     pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.saturating_sub(1).min(16);
         (self.base_backoff * factor).min(self.max_backoff)
+    }
+
+    /// Decorrelation-jittered backoff: a deterministic draw, uniform over
+    /// `[base_backoff, backoff(attempt)]`, keyed by `(seed, attempt)`.
+    ///
+    /// [`backoff`](RetryPolicy::backoff) alone synchronizes clients: every
+    /// caller that hit `Overloaded` at the same moment sleeps the *same*
+    /// deterministic interval and stampedes back in lockstep, re-overloading
+    /// a recovering service on every wave. Spreading each retry across the
+    /// full window below the exponential ceiling decorrelates the herd while
+    /// staying seeded and replayable — two runs with the same seeds observe
+    /// identical retry schedules, and no `rand` dependency is involved.
+    pub fn jittered_backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let ceiling = self.backoff(attempt);
+        let floor = self.base_backoff.min(ceiling);
+        let span = ceiling - floor;
+        if span.is_zero() {
+            return ceiling;
+        }
+        let u = unit(mix(seed, SALT_JITTER, 0, 0, attempt as u64));
+        floor + Duration::from_secs_f64(span.as_secs_f64() * u)
     }
 }
 
@@ -156,6 +191,7 @@ pub struct FaultPlan {
     delay_by: Duration,
     reorder_rate: f64,
     crashes: Vec<CrashEvent>,
+    revives: Vec<ReviveEvent>,
 }
 
 impl Default for FaultPlan {
@@ -180,6 +216,7 @@ impl FaultPlan {
             delay_by: Duration::ZERO,
             reorder_rate: 0.0,
             crashes: Vec::new(),
+            revives: Vec::new(),
         }
     }
 
@@ -215,6 +252,14 @@ impl FaultPlan {
         self
     }
 
+    /// Bring `rank` back the first time the revive clock reaches
+    /// `at_step`. Only supervisors that support restart (the `solversrv`
+    /// shard cluster) consume revives; SPMD regions ignore them.
+    pub fn with_revive(mut self, rank: Rank, at_step: usize) -> Self {
+        self.revives.push(ReviveEvent { rank, at_step });
+        self
+    }
+
     /// The seed this plan draws from.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -232,6 +277,18 @@ impl FaultPlan {
     /// The crash events in this plan.
     pub fn crashes(&self) -> &[CrashEvent] {
         &self.crashes
+    }
+
+    /// The revive events in this plan.
+    pub fn revives(&self) -> &[ReviveEvent] {
+        &self.revives
+    }
+
+    /// True if `rank` should be revived at revive-clock step `step`.
+    pub fn should_revive(&self, rank: Rank, step: usize) -> bool {
+        self.revives
+            .iter()
+            .any(|r| r.rank == rank && step >= r.at_step)
     }
 
     /// How many leading transmission attempts of message `(src, dst, seq)`
@@ -375,6 +432,66 @@ mod tests {
             &[CrashEvent {
                 rank: 2,
                 at_step: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+        };
+        for attempt in 1..8 {
+            for seed in 0..32u64 {
+                let j = p.jittered_backoff(attempt, seed);
+                assert!(j >= p.base_backoff.min(p.backoff(attempt)), "{j:?}");
+                assert!(j <= p.backoff(attempt), "{j:?}");
+                // deterministic: same (seed, attempt) -> same draw
+                assert_eq!(j, p.jittered_backoff(attempt, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_decorrelates_seeds() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+        };
+        // at a late attempt the window is wide: distinct seeds must spread
+        let draws: std::collections::HashSet<Duration> =
+            (0..64u64).map(|s| p.jittered_backoff(6, s)).collect();
+        assert!(draws.len() > 48, "only {} distinct draws", draws.len());
+    }
+
+    #[test]
+    fn jittered_backoff_degenerate_window_is_exact() {
+        // base == max: no room to jitter, every draw is the fixed backoff
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_micros(500),
+        };
+        for seed in 0..8 {
+            assert_eq!(p.jittered_backoff(4, seed), Duration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn revive_fires_at_and_after_step() {
+        let plan = FaultPlan::new(0).with_crash(2, 5).with_revive(2, 9);
+        assert!(!plan.should_revive(2, 8));
+        assert!(plan.should_revive(2, 9));
+        assert!(plan.should_revive(2, 20));
+        assert!(!plan.should_revive(1, 20));
+        assert_eq!(
+            plan.revives(),
+            &[ReviveEvent {
+                rank: 2,
+                at_step: 9
             }]
         );
     }

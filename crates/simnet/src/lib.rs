@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use cost::AlphaBeta;
 pub use error::{SimnetError, SimnetResult};
-pub use faults::{CrashEvent, FaultEvent, FaultPlan, RetryPolicy};
+pub use faults::{CrashEvent, FaultEvent, FaultPlan, RetryPolicy, ReviveEvent};
 pub use network::{BcastAlgo, Network};
 pub use stats::{CommStats, Rank, ELEMENT_BYTES};
 pub use threaded::{run_spmd, run_spmd_supervised, RankCtx, SpmdFailure, SpmdReport, Supervisor};

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use denselin::Matrix;
 
+use crate::fingerprint::Fingerprint;
+
 /// How a registered matrix should be factored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MatrixKind {
@@ -84,6 +86,16 @@ pub struct RequestStats {
     pub distributed_factor: bool,
     /// Which factorization kernel backed the solve (`"lu"`/`"cholesky"`).
     pub kernel: &'static str,
+    /// Which cluster shard executed the solve (`None` on the single-node
+    /// service).
+    pub shard: Option<usize>,
+    /// How many times the request was re-routed to a replica after a shard
+    /// crash (0 = served where it was first admitted).
+    pub failovers: u32,
+    /// Content fingerprint of the factor that produced `x`, echoed so
+    /// callers (and the verifier's zero-stale oracle) can assert the
+    /// response was solved against exactly the matrix they registered.
+    pub fingerprint: Option<Fingerprint>,
 }
 
 /// A completed solve.
@@ -144,6 +156,35 @@ pub enum SolveError {
     },
     /// The service is shutting down and no longer accepts submissions.
     ShuttingDown,
+    /// Cluster admission shed this request because it would require a cold
+    /// factorization while the cluster is under load-shedding pressure
+    /// (see `ShedPolicy`); cache hits are still being served. Retryable.
+    ShedColdMiss {
+        /// Cluster-wide queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// Every shard that replicates this request's fingerprint is currently
+    /// crashed. Retryable: shards may be revived.
+    NoLiveReplica {
+        /// Shards currently alive (cluster-wide).
+        live: usize,
+        /// Total shards in the cluster.
+        shards: usize,
+    },
+}
+
+impl SolveError {
+    /// True for errors a backing-off client should retry: transient
+    /// overload and shedding states, plus total replica loss (shards can
+    /// be revived). Everything else is a definitive answer.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SolveError::Overloaded { .. }
+                | SolveError::ShedColdMiss { .. }
+                | SolveError::NoLiveReplica { .. }
+        )
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -180,6 +221,14 @@ impl fmt::Display for SolveError {
                 "residual {achieved:.3e} > tolerance {requested:.3e} after {sweeps} refinement sweeps"
             ),
             SolveError::ShuttingDown => write!(f, "service is shutting down"),
+            SolveError::ShedColdMiss { depth } => write!(
+                f,
+                "cluster is shedding cold-miss factorizations ({depth} queued)"
+            ),
+            SolveError::NoLiveReplica { live, shards } => write!(
+                f,
+                "no live replica for this matrix ({live} of {shards} shards up)"
+            ),
         }
     }
 }
@@ -229,9 +278,24 @@ mod tests {
                 "4 refinement sweeps",
             ),
             (SolveError::ShuttingDown, "shutting down"),
+            (SolveError::ShedColdMiss { depth: 7 }, "shedding cold-miss"),
+            (
+                SolveError::NoLiveReplica { live: 1, shards: 4 },
+                "1 of 4 shards",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");
         }
+    }
+
+    #[test]
+    fn retryability_matches_transient_states() {
+        assert!(SolveError::Overloaded { depth: 1 }.is_retryable());
+        assert!(SolveError::ShedColdMiss { depth: 1 }.is_retryable());
+        assert!(SolveError::NoLiveReplica { live: 0, shards: 2 }.is_retryable());
+        assert!(!SolveError::ShuttingDown.is_retryable());
+        assert!(!SolveError::Singular { column: 0 }.is_retryable());
+        assert!(!SolveError::UnknownMatrix { matrix_id: 9 }.is_retryable());
     }
 }

@@ -183,6 +183,27 @@ impl FactorCache {
         self.hits += n;
     }
 
+    /// Fingerprints of every resident factor, in no particular order.
+    /// The cluster's rebalance path uses this to find factors whose
+    /// primary shard has rejoined.
+    pub fn fingerprints(&self) -> Vec<Fingerprint> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Borrow a resident factor without touching the hit/miss counters or
+    /// recency (replication reads, not client traffic).
+    pub fn peek(&self, fp: Fingerprint) -> Option<&CachedFactor> {
+        self.entries.get(&fp).map(|e| &e.factor)
+    }
+
+    /// Drop every resident factor (a crashed shard loses its memory).
+    /// Cumulative hit/miss/eviction/insertion counters are preserved —
+    /// wiped entries are lost state, not evictions.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
     /// Insert a factor, evicting least-recently-used entries until the
     /// budget holds. A factor larger than the whole budget is still
     /// admitted alone (the service must be able to serve it); it will be
@@ -290,6 +311,36 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.bytes(), bytes);
         assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn clear_wipes_entries_but_keeps_counters() {
+        let mut c = FactorCache::new(1 << 20);
+        let (fp, f) = factor_of(8, 1);
+        c.insert(fp, f);
+        c.lookup(fp);
+        assert!(c.peek(fp).is_some());
+        assert_eq!(c.fingerprints(), vec![fp]);
+        let (hits, evictions) = (c.hits, c.evictions);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert!(c.peek(fp).is_none());
+        assert_eq!(c.hits, hits);
+        assert_eq!(c.evictions, evictions, "clear is not an eviction");
+        assert_eq!(c.insertions, 1);
+    }
+
+    #[test]
+    fn peek_has_no_accounting_side_effects() {
+        let mut c = FactorCache::new(1 << 20);
+        let (fp, f) = factor_of(8, 2);
+        c.insert(fp, f);
+        let (h, m) = (c.hits, c.misses);
+        assert!(c.peek(fp).is_some());
+        let (fp_other, _) = factor_of(8, 3);
+        assert!(c.peek(fp_other).is_none());
+        assert_eq!((c.hits, c.misses), (h, m));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Consistent-hash routing of matrix fingerprints onto shards.
+//!
+//! Each shard owns `VNODES` points on a `u64` ring; a fingerprint routes
+//! to the first `replicas` *distinct* shards clockwise from its key. The
+//! properties the cluster leans on:
+//!
+//! * **Determinism** — routing is a pure function of `(shards, fp)`, so
+//!   every submitter, failover path and rebalance pass computes the same
+//!   preference order without coordination.
+//! * **Stability** — with virtual nodes, adding or removing one shard
+//!   moves only `≈ 1/shards` of the keyspace; the rebalance-on-revive
+//!   pass therefore copies few factors.
+//! * **Spread** — vnode positions are splitmix64-scrambled, so shard
+//!   loads are balanced to within small factors even for few shards.
+
+use crate::fingerprint::Fingerprint;
+
+/// Virtual nodes per shard. 64 keeps the per-shard keyspace share within
+/// ~±25% of uniform while the ring stays tiny (a few KiB).
+const VNODES: usize = 64;
+
+/// Fixed salt separating ring-point hashing from everything else that
+/// splitmixes in this workspace.
+const SALT_RING: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The ring: sorted `(position, shard)` points.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a cluster needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                let pos = splitmix(SALT_RING ^ ((shard as u64) << 32) ^ vnode as u64);
+                points.push((pos, shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The ring key of a fingerprint: its content hash re-scrambled with
+    /// the shape, so matrices differing only in dimensions still spread.
+    pub fn key_of(fp: Fingerprint) -> u64 {
+        splitmix(fp.hash ^ fp.rows.rotate_left(32) ^ fp.cols.rotate_left(48))
+    }
+
+    /// The preference order for `fp`: up to `replicas` distinct shards,
+    /// clockwise from the fingerprint's key. Index 0 is the *primary*;
+    /// the rest are the replica set. `replicas` is clamped to the shard
+    /// count.
+    pub fn route(&self, fp: Fingerprint, replicas: usize) -> Vec<usize> {
+        let want = replicas.clamp(1, self.shards);
+        let key = Self::key_of(fp);
+        let start = self.points.partition_point(|&(pos, _)| pos < key);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denselin::Matrix;
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint {
+            rows: 8 + (seed % 5),
+            cols: 8 + (seed % 5),
+            hash: splitmix(seed),
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_distinct() {
+        let ring = HashRing::new(5);
+        for s in 0..200 {
+            let f = fp(s);
+            let r1 = ring.route(f, 3);
+            let r2 = HashRing::new(5).route(f, 3);
+            assert_eq!(r1, r2, "route must be a pure function of (shards, fp)");
+            assert_eq!(r1.len(), 3);
+            let mut sorted = r1.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replica set has a duplicate: {r1:?}");
+            assert!(r1.iter().all(|&s| s < 5));
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_shard_count() {
+        let ring = HashRing::new(2);
+        assert_eq!(ring.route(fp(1), 7).len(), 2);
+        assert_eq!(ring.route(fp(1), 0).len(), 1);
+        let solo = HashRing::new(1);
+        assert_eq!(solo.route(fp(3), 2), vec![0]);
+    }
+
+    #[test]
+    fn primaries_are_reasonably_balanced() {
+        let shards = 4;
+        let ring = HashRing::new(shards);
+        let mut counts = vec![0usize; shards];
+        let trials = 2000;
+        for s in 0..trials {
+            counts[ring.route(fp(s as u64), 2)[0]] += 1;
+        }
+        let ideal = trials / shards;
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 2 && c < ideal * 2,
+                "shard {shard} owns {c} of {trials} keys (ideal {ideal})"
+            );
+        }
+    }
+
+    #[test]
+    fn real_fingerprints_route_consistently() {
+        let ring = HashRing::new(3);
+        let a = Matrix::from_fn(12, 12, |i, j| if i == j { 4.0 } else { 0.1 * j as f64 });
+        let f = Fingerprint::of(&a);
+        let route = ring.route(f, 2);
+        // the same content always lands on the same primary
+        assert_eq!(route, ring.route(Fingerprint::of(&a.clone()), 2));
+        assert_ne!(route[0], route[1]);
+    }
+}

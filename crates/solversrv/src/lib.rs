@@ -19,8 +19,13 @@
 //!   coalesce into one multi-RHS blocked-`trsm` pass so the factor is
 //!   streamed from memory once instead of once per request,
 //! * [`stats`] — [`ServiceStats`] latency/throughput/cache snapshots,
-//! * [`client`] — retry/backoff submission helper reusing
-//!   [`simnet::RetryPolicy`].
+//! * [`client`] — jittered retry/backoff submission helpers reusing
+//!   [`simnet::RetryPolicy`], generic over single-node and cluster
+//!   handles via the [`Solver`] trait,
+//! * [`cluster`] — sharded, replicated serving: consistent-hash routing
+//!   of fingerprints across shard services, hot-factor replication,
+//!   crash-tolerant failover driven by [`simnet::FaultPlan`], tiered
+//!   load shedding and rebalance-on-revive (see [`serve_cluster`]).
 //!
 //! Cold factorizations of sufficiently large matrices can optionally route
 //! through the real distributed driver ([`conflux::factorize_threaded`])
@@ -48,13 +53,18 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod cluster;
+mod exec;
 pub mod fingerprint;
 pub mod service;
 pub mod stats;
 
 pub use api::{MatrixKind, RequestStats, SolveError, SolveRequest, SolveResponse};
 pub use cache::{CachedFactor, FactorCache};
-pub use client::solve_with_retry;
+pub use client::{solve_with_retry, solve_with_retry_seeded, Solver};
+pub use cluster::{
+    serve_cluster, ClusterConfig, ClusterHandle, ClusterReport, HashRing, ShedPolicy,
+};
 pub use fingerprint::Fingerprint;
 pub use service::{serve, DistributedConfig, ServiceConfig, ServiceReport, SolverHandle, Ticket};
-pub use stats::ServiceStats;
+pub use stats::{ClusterStats, ServiceStats, ShardSnapshot};

@@ -22,14 +22,14 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use conflux::{factorize_threaded, ConfluxConfig, LuGrid};
+use conflux::LuGrid;
 use denselin::gemm::gemm_auto;
-use denselin::lu::SingularMatrix;
-use denselin::{cholesky_blocked, lu_blocked, solve_refined, Matrix};
+use denselin::Matrix;
 use simnet::{AlphaBeta, ClockDomain, Event, RankTracer, Trace};
 
 use crate::api::{MatrixKind, RequestStats, SolveError, SolveRequest, SolveResponse};
 use crate::cache::{CachedFactor, FactorCache};
+use crate::exec::{self, Registered, Slot};
 use crate::fingerprint::Fingerprint;
 use crate::stats::{Collector, ServiceStats};
 
@@ -105,13 +105,6 @@ pub struct ServiceReport {
 // Internal state
 // ---------------------------------------------------------------------------
 
-#[derive(Clone)]
-struct Registered {
-    matrix: Arc<Matrix>,
-    kind: MatrixKind,
-    fp: Fingerprint,
-}
-
 struct Pending {
     fp: Fingerprint,
     matrix: Arc<Matrix>,
@@ -125,34 +118,19 @@ struct Pending {
     slot: Arc<Slot>,
 }
 
-#[derive(Default)]
-struct Slot {
-    cell: Mutex<Option<Result<SolveResponse, SolveError>>>,
-    ready: Condvar,
-}
-
-impl Slot {
-    fn deliver(&self, result: Result<SolveResponse, SolveError>) {
-        *self.cell.lock().unwrap() = Some(result);
-        self.ready.notify_all();
-    }
-}
-
 /// A claim on a submitted request; [`Ticket::wait`] blocks for the answer.
 pub struct Ticket {
     slot: Arc<Slot>,
 }
 
 impl Ticket {
+    pub(crate) fn from_slot(slot: Arc<Slot>) -> Self {
+        Ticket { slot }
+    }
+
     /// Block until a worker answers this request.
     pub fn wait(self) -> Result<SolveResponse, SolveError> {
-        let mut cell = self.slot.cell.lock().unwrap();
-        loop {
-            if let Some(result) = cell.take() {
-                return result;
-            }
-            cell = self.slot.ready.wait(cell).unwrap();
-        }
+        self.slot.wait_take()
     }
 }
 
@@ -241,7 +219,7 @@ impl SolverHandle {
             slot
         };
         self.shared.work.notify_one();
-        Ok(Ticket { slot })
+        Ok(Ticket::from_slot(slot))
     }
 
     /// Submit and block for the answer.
@@ -402,7 +380,12 @@ fn worker_loop(shared: &Shared, tracer: &mut RankTracer) {
 
                 let t0 = tracer.begin();
                 let start = Instant::now();
-                let outcome = factor_matrix(&shared.cfg, &lead.matrix, lead.kind);
+                let outcome = exec::factor_matrix(
+                    shared.cfg.panel,
+                    shared.cfg.distributed,
+                    &lead.matrix,
+                    lead.kind,
+                );
                 let factor_time = start.elapsed();
 
                 let mut st = shared.state.lock().unwrap();
@@ -482,75 +465,6 @@ fn coalesce(
         }
     }
     batch
-}
-
-struct Factored {
-    factor: CachedFactor,
-    distributed: bool,
-    spd_fallback: bool,
-}
-
-fn is_symmetric(a: &Matrix) -> bool {
-    (0..a.rows()).all(|i| (0..i).all(|j| a[(i, j)] == a[(j, i)]))
-}
-
-fn factor_matrix(
-    cfg: &ServiceConfig,
-    a: &Matrix,
-    kind: MatrixKind,
-) -> Result<Factored, SolveError> {
-    let n = a.rows();
-    let mut spd_fallback = false;
-    if kind == MatrixKind::SymmetricPositiveDefinite && !is_symmetric(a) {
-        // the blocked Cholesky only reads the lower triangle, so it can
-        // "succeed" on a mis-tagged non-symmetric matrix and produce a
-        // factor of the wrong matrix; catch the lie up front
-        spd_fallback = true;
-    } else if kind == MatrixKind::SymmetricPositiveDefinite {
-        match cholesky_blocked(a, cfg.panel.min(n.max(1))) {
-            Ok(l) => {
-                return Ok(Factored {
-                    factor: CachedFactor::Cholesky {
-                        lt: l.transpose(),
-                        l,
-                    },
-                    distributed: false,
-                    spd_fallback: false,
-                })
-            }
-            Err(_) => spd_fallback = true, // caller lied about SPD: use LU
-        }
-    }
-    if let Some(d) = cfg.distributed {
-        // the threaded driver asserts its preconditions; route around it
-        // (to the local factorization) instead of panicking a worker
-        let compatible = n >= d.min_n
-            && d.grid.q.is_power_of_two()
-            && d.tile >= d.grid.c
-            && d.tile > 0
-            && n.is_multiple_of(d.tile);
-        if compatible {
-            let ccfg = ConfluxConfig::dense(n, d.tile, d.grid);
-            if let Ok(run) = factorize_threaded(&ccfg, a) {
-                if let Some(factors) = run.factors {
-                    return Ok(Factored {
-                        factor: CachedFactor::Lu(factors.to_factorization()),
-                        distributed: true,
-                        spd_fallback,
-                    });
-                }
-            }
-            // fall through to the local path on any distributed failure
-        }
-    }
-    match lu_blocked(a, cfg.panel.min(n.max(1))) {
-        Ok(f) => Ok(Factored {
-            factor: CachedFactor::Lu(f),
-            distributed: false,
-            spd_fallback,
-        }),
-        Err(SingularMatrix { column }) => Err(SolveError::Singular { column }),
-    }
 }
 
 /// Solve one coalesced batch: stack the RHS columns, run one multi-RHS
@@ -641,6 +555,9 @@ fn solve_batch(
             refine_history: Vec::new(),
             distributed_factor: distributed,
             kernel: factor.kernel(),
+            shard: None,
+            failovers: 0,
+            fingerprint: Some(p.fp),
         };
         let result = if residual <= p.tolerance {
             Ok(SolveResponse {
@@ -652,7 +569,15 @@ fn solve_batch(
             // graceful degradation: iterative refinement on this member
             let t0r = tracer.begin();
             let refine_start = Instant::now();
-            let outcome = refine_member(shared, factor, &a, p, x.block(0, off, n, k), residual);
+            let outcome = exec::refine_solution(
+                factor,
+                &a,
+                &p.rhs,
+                p.tolerance,
+                shared.cfg.refine_sweeps,
+                x.block(0, off, n, k),
+                residual,
+            );
             stats.refine_time = refine_start.elapsed();
             tracer.push_compute("svc:refine", factor.kernel(), t0r);
             match outcome {
@@ -690,65 +615,5 @@ fn solve_batch(
     }
     for (slot, result, _) in outcomes {
         slot.deliver(result);
-    }
-}
-
-/// Refine one batch member that missed its tolerance. Returns the refined
-/// solution, its residual and the per-sweep history, or
-/// [`SolveError::ToleranceNotMet`].
-#[allow(clippy::type_complexity)]
-fn refine_member(
-    shared: &Shared,
-    factor: &CachedFactor,
-    a: &Matrix,
-    p: &Pending,
-    x0: Matrix,
-    residual0: f64,
-) -> Result<(Matrix, f64, Vec<f64>), SolveError> {
-    let sweeps = shared.cfg.refine_sweeps;
-    if let Some(lu) = factor.as_lu() {
-        let out = solve_refined(a, lu, &p.rhs, sweeps, p.tolerance);
-        if out.converged {
-            let residual = out.final_residual();
-            return Ok((out.x, residual, out.residual_history));
-        }
-        return Err(SolveError::ToleranceNotMet {
-            achieved: out.final_residual(),
-            requested: p.tolerance,
-            sweeps: out.sweeps(),
-        });
-    }
-    // Cholesky: same r = b - A·x; x += A⁻¹r iteration through the factor
-    let bnorm = p.rhs.frobenius_norm().max(f64::MIN_POSITIVE);
-    let mut x = x0;
-    let mut best = residual0;
-    let mut history = vec![residual0];
-    for _ in 0..sweeps {
-        if best <= p.tolerance {
-            break;
-        }
-        let mut r = p.rhs.clone();
-        gemm_auto(&mut r, -1.0, a, &x, 1.0);
-        let mut dx = Matrix::zeros(r.rows(), r.cols());
-        factor.solve_into(&r, &mut dx);
-        let candidate = x.add(&dx);
-        let mut r2 = p.rhs.clone();
-        gemm_auto(&mut r2, -1.0, a, &candidate, 1.0);
-        let rn = r2.frobenius_norm() / bnorm;
-        if rn >= best {
-            break; // stagnated: keep the better iterate
-        }
-        x = candidate;
-        best = rn;
-        history.push(rn);
-    }
-    if best <= p.tolerance {
-        Ok((x, best, history))
-    } else {
-        Err(SolveError::ToleranceNotMet {
-            achieved: best,
-            requested: p.tolerance,
-            sweeps: history.len() - 1,
-        })
     }
 }

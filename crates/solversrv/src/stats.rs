@@ -122,6 +122,110 @@ impl fmt::Display for ServiceStats {
     }
 }
 
+/// Point-in-time view of one shard inside a [`ClusterStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Is the shard up?
+    pub alive: bool,
+    /// Requests waiting in this shard's queue.
+    pub queue_depth: usize,
+    /// Resident factor entries.
+    pub cache_entries: usize,
+    /// Resident factor bytes.
+    pub cache_bytes: usize,
+    /// Cumulative cache hits (survives crashes; resident entries do not).
+    pub cache_hits: u64,
+    /// Cumulative cache misses.
+    pub cache_misses: u64,
+}
+
+/// Aggregated view of everything a [`crate::cluster::serve_cluster`] run
+/// did: the familiar [`ServiceStats`] rollup plus the cluster-only
+/// counters (crashes, failovers, replication, shedding) and a per-shard
+/// breakdown.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// Service-level rollup across every shard (cache fields are summed).
+    pub service: ServiceStats,
+    /// Shards configured.
+    pub shards: usize,
+    /// Replication factor (distinct shards per fingerprint).
+    pub replicas: usize,
+    /// Shards alive at snapshot time.
+    pub live_shards: usize,
+    /// Shard crashes (scheduled fail-points plus explicit kills).
+    pub crashes: u64,
+    /// Shard revivals.
+    pub revives: u64,
+    /// Ticket re-routes after a crash (per orphaned request, per hop).
+    pub failovers: u64,
+    /// Hot factors copied to replicas at insert time.
+    pub replicated_factors: u64,
+    /// Factors copied back to a revived primary by the rebalance pass.
+    pub rebalanced_factors: u64,
+    /// Requests shed at admission because they needed a cold
+    /// factorization under pressure.
+    pub shed_cold_miss: u64,
+    /// Requests that missed tolerance because their refinement was shed.
+    pub refines_shed: u64,
+    /// Submissions rejected because no replica was alive.
+    pub unavailable: u64,
+    /// One snapshot per shard.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl ClusterStats {
+    /// The zero-lost-ticket invariant: every admitted request resolved to
+    /// a completion, a typed failure, or a deadline miss. False means a
+    /// ticket was silently dropped somewhere.
+    pub fn accounted(&self) -> bool {
+        self.service.completed + self.service.failed + self.service.deadline_misses
+            == self.service.submitted
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.service)?;
+        writeln!(
+            f,
+            "cluster:  {}/{} shards up (r={}), {} crashes, {} revives, {} failovers",
+            self.live_shards,
+            self.shards,
+            self.replicas,
+            self.crashes,
+            self.revives,
+            self.failovers
+        )?;
+        writeln!(
+            f,
+            "replicas: {} hot-replicated, {} rebalanced on revive",
+            self.replicated_factors, self.rebalanced_factors
+        )?;
+        write!(
+            f,
+            "shedding: {} cold-miss shed, {} refinements shed, {} unavailable",
+            self.shed_cold_miss, self.refines_shed, self.unavailable
+        )?;
+        for s in &self.per_shard {
+            write!(
+                f,
+                "\nshard {}:  {}, {} queued, {} factors ({:.1} MiB), {} hit / {} miss",
+                s.shard,
+                if s.alive { "up" } else { "DOWN" },
+                s.queue_depth,
+                s.cache_entries,
+                s.cache_bytes as f64 / (1024.0 * 1024.0),
+                s.cache_hits,
+                s.cache_misses
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Running collector the service mutates under its state lock; snapshots
 /// compute the percentile fields.
 #[derive(Debug, Default)]
@@ -219,6 +323,47 @@ mod tests {
         assert_eq!(s.throughput_rps, 0.0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn cluster_accounting_and_display() {
+        let service = ServiceStats {
+            submitted: 10,
+            completed: 7,
+            failed: 2,
+            deadline_misses: 1,
+            ..ServiceStats::default()
+        };
+        let mut cs = ClusterStats {
+            service,
+            shards: 4,
+            replicas: 2,
+            live_shards: 3,
+            crashes: 1,
+            revives: 1,
+            failovers: 5,
+            replicated_factors: 3,
+            rebalanced_factors: 2,
+            shed_cold_miss: 4,
+            refines_shed: 1,
+            unavailable: 0,
+            per_shard: vec![ShardSnapshot {
+                shard: 0,
+                alive: false,
+                queue_depth: 0,
+                cache_entries: 0,
+                cache_bytes: 0,
+                cache_hits: 9,
+                cache_misses: 3,
+            }],
+        };
+        assert!(cs.accounted());
+        let text = cs.to_string();
+        for needle in ["cluster:", "replicas:", "shedding:", "shard 0:", "DOWN"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+        cs.service.completed -= 1; // one ticket vanished
+        assert!(!cs.accounted());
     }
 
     #[test]

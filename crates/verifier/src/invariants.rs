@@ -100,7 +100,11 @@ impl Invariant for SendRecvConservation {
                 sent += c.elements_sent;
                 recv += c.elements_received;
             }
-            let ok = if art.lossy { recv <= sent } else { recv == sent };
+            let ok = if art.lossy {
+                recv <= sent
+            } else {
+                recv == sent
+            };
             if !ok {
                 return Err(format!(
                     "phase `{phase}`: {sent} elements sent vs {recv} received (lossy={})",

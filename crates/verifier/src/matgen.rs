@@ -151,10 +151,7 @@ mod tests {
     fn diagdom_rows_are_dominant() {
         let a = matrix(MatrixClass::DiagDom, 9, 4);
         for i in 0..9 {
-            let off: f64 = (0..9)
-                .filter(|&j| j != i)
-                .map(|j| a[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..9).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
             assert!(a[(i, i)].abs() > off);
         }
     }

@@ -31,7 +31,7 @@ use conflux::{
 use denselin::cholesky::cholesky_residual;
 use denselin::{cholesky_blocked, lu_blocked, LuFactorization, Matrix};
 use simnet::{CommStats, FaultPlan, Supervisor, Trace};
-use solversrv::{serve, MatrixKind, ServiceConfig, SolveRequest};
+use solversrv::{serve, serve_cluster, ClusterConfig, MatrixKind, ServiceConfig, SolveRequest};
 
 use crate::invariants::{check_all, default_invariants, Invariant, RunArtifacts};
 use crate::matgen;
@@ -168,7 +168,10 @@ fn judge_lu(
         LuOutcome::Factored { residual, .. } => {
             let tol = residual_tolerance(sc.class, sc.n());
             if *residual <= tol {
-                out.push(CheckOutcome::pass(name, format!("{residual:.3e} <= {tol:.1e}")));
+                out.push(CheckOutcome::pass(
+                    name,
+                    format!("{residual:.3e} <= {tol:.1e}"),
+                ));
             } else {
                 out.push(CheckOutcome::fail(
                     name,
@@ -180,7 +183,10 @@ fn judge_lu(
             let legitimate =
                 may_abort || matches!(sc.class, MatrixClass::NearSingular | MatrixClass::RankDef);
             if legitimate {
-                out.push(CheckOutcome::pass(name, format!("legitimately declined: {why}")));
+                out.push(CheckOutcome::pass(
+                    name,
+                    format!("legitimately declined: {why}"),
+                ));
             } else {
                 out.push(CheckOutcome::fail(
                     name,
@@ -303,9 +309,7 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
                     format!("aborted without a fatal fault plan: {err}"),
                 ));
             }
-            judge_invariants(
-                "conflux", &invs, &err.stats, None, true, None, sc, &mut out,
-            );
+            judge_invariants("conflux", &invs, &err.stats, None, true, None, sc, &mut out);
         }
         Ok(Ok(run)) => {
             let outcome = match run.factors.as_ref() {
@@ -317,11 +321,7 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
                 // a crash with replication must take the failover path;
                 // on a 2-rank grid the notification broadcast has a single
                 // survivor and charges no volume, so no phase appears
-                let failed_over = run
-                    .stats
-                    .phases()
-                    .iter()
-                    .any(|ph| ph.contains("failover"));
+                let failed_over = run.stats.phases().iter().any(|ph| ph.contains("failover"));
                 out.push(CheckOutcome::from(
                     "conflux-failover",
                     if failed_over {
@@ -385,7 +385,14 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
                 // orchestrated accountant
                 if let (
                     LuOutcome::Factored { perm, factors, .. },
-                    Some((LuOutcome::Factored { perm: operm, factors: ofact, .. }, orun)),
+                    Some((
+                        LuOutcome::Factored {
+                            perm: operm,
+                            factors: ofact,
+                            ..
+                        },
+                        orun,
+                    )),
                 ) = (&outcome, &conflux_outcome)
                 {
                     let mut problems = Vec::new();
@@ -398,8 +405,8 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
                     // in the last ulps, but ill-conditioned classes may
                     // legitimately amplify the reassociation, so there the
                     // residual and volume contracts carry the comparison.
-                    let exact = sc.c == 1
-                        || matches!(sc.class, MatrixClass::Well | MatrixClass::DiagDom);
+                    let exact =
+                        sc.c == 1 || matches!(sc.class, MatrixClass::Well | MatrixClass::DiagDom);
                     if exact {
                         if perm != operm {
                             problems.push("permutations differ".to_string());
@@ -483,8 +490,7 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
                 matches!(sc.class, MatrixClass::Well | MatrixClass::DiagDom),
                 &outcome,
                 &serial,
-            )
-            {
+            ) {
                 out.push(CheckOutcome::from(
                     "lu2d-perm-matches-serial",
                     if perm == sperm {
@@ -618,7 +624,9 @@ fn run_cholesky(sc: &Scenario) -> Vec<CheckOutcome> {
             ));
         }
     }
-    judge_invariants("cholesky", &invs, &run.stats, None, false, None, sc, &mut out);
+    judge_invariants(
+        "cholesky", &invs, &run.stats, None, false, None, sc, &mut out,
+    );
 
     out
 }
@@ -663,7 +671,9 @@ fn run_solve(sc: &Scenario) -> Vec<CheckOutcome> {
         },
     ));
     let panel = ServiceConfig::default().panel.min(n);
-    let direct = lu_blocked(&a, panel).expect("nonsingular by construction").solve(&b);
+    let direct = lu_blocked(&a, panel)
+        .expect("nonsingular by construction")
+        .solve(&b);
     out.push(CheckOutcome::from(
         "solve-matches-direct",
         if direct.as_slice() == hit.x.as_slice() {
@@ -703,6 +713,66 @@ fn run_solve(sc: &Scenario) -> Vec<CheckOutcome> {
             Ok(format!("{k} columns agree"))
         } else {
             Err(batch_problems.join("; "))
+        },
+    ));
+
+    // sharded path: kill the primary between two solves and check the
+    // replica's answer is bitwise identical, correctly fingerprinted, and
+    // that a re-registration is never served stale across the failover
+    let a2 = matgen::spd_matrix(sc.class, n, sc.mseed ^ 0x5eedc1_u64);
+    let fp2_expect = solversrv::Fingerprint::of(&a2);
+    let ccfg = ClusterConfig {
+        shards: 3,
+        replicas: 2,
+        workers_per_shard: 1,
+        ..ClusterConfig::default()
+    };
+    let ((fp, primary, cold, failover, swapped), _) = serve_cluster(ccfg, |h| {
+        let fp = h.register_matrix(1, a.clone(), MatrixKind::General);
+        let primary = h.route_of(fp)[0];
+        let cold = h.solve(SolveRequest::new(1, b.clone())).unwrap();
+        h.kill_shard(primary);
+        let failover = h.solve(SolveRequest::new(1, b.clone())).unwrap();
+        h.revive_shard(primary);
+        h.register_matrix(1, a2.clone(), MatrixKind::General);
+        let swapped = h.solve(SolveRequest::new(1, b.clone())).unwrap();
+        (fp, primary, cold, failover, swapped)
+    });
+    out.push(CheckOutcome::from(
+        "cluster-replica-bitwise",
+        if failover.x.as_slice() == cold.x.as_slice() && failover.x.as_slice() == direct.as_slice()
+        {
+            Ok(String::new())
+        } else {
+            Err("replica answer diverges from the primary's / the direct solve".into())
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "cluster-zero-stale",
+        if cold.stats.fingerprint == Some(fp)
+            && failover.stats.fingerprint == Some(fp)
+            && failover.stats.shard != Some(primary)
+            && failover.stats.cache_hit
+        {
+            Ok(format!("served by replica {:?}", failover.stats.shard))
+        } else {
+            Err(format!(
+                "failover served shard {:?} (primary {primary}), fp match {}, warm {}",
+                failover.stats.shard,
+                failover.stats.fingerprint == Some(fp),
+                failover.stats.cache_hit
+            ))
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "cluster-reregister-not-stale",
+        if swapped.stats.fingerprint == Some(fp2_expect) && fp2_expect != fp {
+            Ok(String::new())
+        } else {
+            Err(format!(
+                "re-registered content answered under fp {:?} (want {fp2_expect})",
+                swapped.stats.fingerprint
+            ))
         },
     ));
 

@@ -37,21 +37,14 @@ impl FuzzSummary {
         if report.passed() {
             self.passed += 1;
         } else {
-            let names: Vec<String> = report
-                .failures()
-                .iter()
-                .map(|o| o.name.clone())
-                .collect();
+            let names: Vec<String> = report.failures().iter().map(|o| o.name.clone()).collect();
             let detail = report
                 .failures()
                 .first()
                 .map(|o| o.detail.clone())
                 .unwrap_or_default();
-            self.failures.push((
-                shrunk.unwrap_or(&report.scenario).clone(),
-                names,
-                detail,
-            ));
+            self.failures
+                .push((shrunk.unwrap_or(&report.scenario).clone(), names, detail));
         }
     }
 
@@ -133,7 +126,11 @@ mod tests {
             outcomes: vec![CheckOutcome {
                 name: "serial-residual".into(),
                 passed,
-                detail: if passed { String::new() } else { "boom \"q\"".into() },
+                detail: if passed {
+                    String::new()
+                } else {
+                    "boom \"q\"".into()
+                },
             }],
         }
     }

@@ -164,11 +164,9 @@ impl Scenario {
                 MatrixClass::Wilkinson,
             ]),
             // Cholesky needs SPD-able input; the service solves systems
-            Kernel::Cholesky | Kernel::Solve => *r.choose(&[
-                MatrixClass::Well,
-                MatrixClass::DiagDom,
-                MatrixClass::Ill,
-            ]),
+            Kernel::Cholesky | Kernel::Solve => {
+                *r.choose(&[MatrixClass::Well, MatrixClass::DiagDom, MatrixClass::Ill])
+            }
         };
         let c = *r.choose(&[1usize, 1, 2, 2, 3]);
         let q = *r.choose(&[1usize, 2, 2, 2, 3]);

@@ -59,8 +59,9 @@ fn cholesky_and_solve_scenarios_pass() {
 fn minimize_shrinks_to_the_failing_dimension() {
     // a synthetic predicate failing exactly on c > 1 must shrink away
     // everything else while keeping c > 1
-    let sc = Scenario::decode("kernel=lu n=48 v=8 q=2 c=3 class=hilbert mseed=21 nrhs=3 faults=drop:40")
-        .unwrap();
+    let sc =
+        Scenario::decode("kernel=lu n=48 v=8 q=2 c=3 class=hilbert mseed=21 nrhs=3 faults=drop:40")
+            .unwrap();
     let (minimal, steps) = minimize(&sc, |cand| cand.c > 1);
     assert!(steps > 0, "shrinking must make progress");
     assert!(minimal.c > 1, "the failing property must be preserved");
@@ -76,7 +77,11 @@ fn fuzz_summary_aggregates_campaigns() {
         summary.absorb(&run_scenario(&sc), None);
     }
     assert_eq!(summary.total, 5);
-    assert_eq!(summary.passed, 5, "seeds 0..5 are clean: {:?}", summary.failures);
+    assert_eq!(
+        summary.passed, 5,
+        "seeds 0..5 are clean: {:?}",
+        summary.failures
+    );
     let json = summary.to_json(5, 0);
     assert!(json.contains("\"scenarios_run\": 5"));
 }
