@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/baselines-013fb7f1de914428.d: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-013fb7f1de914428.rmeta: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/candmc.rs:
+crates/baselines/src/lu2d.rs:
+crates/baselines/src/models.rs:
+crates/baselines/src/lu1d.rs:
+crates/baselines/src/lu2d_threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

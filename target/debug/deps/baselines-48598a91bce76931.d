@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-48598a91bce76931.d: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+/root/repo/target/debug/deps/libbaselines-48598a91bce76931.rlib: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+/root/repo/target/debug/deps/libbaselines-48598a91bce76931.rmeta: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/candmc.rs:
+crates/baselines/src/lu2d.rs:
+crates/baselines/src/models.rs:
+crates/baselines/src/lu1d.rs:
+crates/baselines/src/lu2d_threaded.rs:

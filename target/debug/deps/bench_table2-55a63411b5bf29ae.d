@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table2-55a63411b5bf29ae.d: crates/bench/benches/bench_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table2-55a63411b5bf29ae.rmeta: crates/bench/benches/bench_table2.rs Cargo.toml
+
+crates/bench/benches/bench_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

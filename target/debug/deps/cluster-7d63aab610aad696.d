@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-7d63aab610aad696.d: crates/solversrv/tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-7d63aab610aad696: crates/solversrv/tests/cluster.rs
+
+crates/solversrv/tests/cluster.rs:

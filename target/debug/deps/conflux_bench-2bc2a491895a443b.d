@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conflux_bench-2bc2a491895a443b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/debug/deps/conflux_bench-2bc2a491895a443b: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conflux_bench-4dfc4e17f0ae83c3.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/debug/deps/libconflux_bench-4dfc4e17f0ae83c3.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/conflux_bench-8bb40e8c24c31a90.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconflux_bench-8bb40e8c24c31a90.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

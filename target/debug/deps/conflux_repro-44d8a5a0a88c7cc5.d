@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conflux_repro-44d8a5a0a88c7cc5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconflux_repro-44d8a5a0a88c7cc5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conflux_repro-885c0e1cdf779109.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconflux_repro-885c0e1cdf779109.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconflux_repro-885c0e1cdf779109.rmeta: src/lib.rs
+
+src/lib.rs:

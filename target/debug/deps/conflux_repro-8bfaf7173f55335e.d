@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conflux_repro-8bfaf7173f55335e.d: src/lib.rs
+
+/root/repo/target/debug/deps/conflux_repro-8bfaf7173f55335e: src/lib.rs
+
+src/lib.rs:

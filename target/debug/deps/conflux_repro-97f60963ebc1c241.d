@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conflux_repro-97f60963ebc1c241.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconflux_repro-97f60963ebc1c241.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

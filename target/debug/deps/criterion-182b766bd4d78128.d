@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-182b766bd4d78128.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-182b766bd4d78128.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

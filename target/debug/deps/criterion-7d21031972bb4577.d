@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7d21031972bb4577.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-7d21031972bb4577: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

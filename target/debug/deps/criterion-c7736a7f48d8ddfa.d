@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c7736a7f48d8ddfa.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c7736a7f48d8ddfa.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c7736a7f48d8ddfa.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_backend-5f10ee5df65aa499.d: tests/cross_backend.rs
+
+/root/repo/target/debug/deps/cross_backend-5f10ee5df65aa499: tests/cross_backend.rs
+
+tests/cross_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-30f02417ed7b6721.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-30f02417ed7b6721.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-69e0f526f67adc1e.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-69e0f526f67adc1e.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-69e0f526f67adc1e.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

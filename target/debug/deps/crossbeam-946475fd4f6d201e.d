@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-946475fd4f6d201e.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-946475fd4f6d201e: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

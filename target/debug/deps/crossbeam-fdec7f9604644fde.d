@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-fdec7f9604644fde.d: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-fdec7f9604644fde.rmeta: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+.stubs/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

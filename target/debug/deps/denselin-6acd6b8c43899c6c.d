@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/denselin-6acd6b8c43899c6c.d: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/matrix.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdenselin-6acd6b8c43899c6c.rmeta: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/matrix.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs Cargo.toml
+
+crates/denselin/src/lib.rs:
+crates/denselin/src/blockcyclic.rs:
+crates/denselin/src/cholesky.rs:
+crates/denselin/src/condition.rs:
+crates/denselin/src/gemm.rs:
+crates/denselin/src/lu.rs:
+crates/denselin/src/matrix.rs:
+crates/denselin/src/qr.rs:
+crates/denselin/src/refine.rs:
+crates/denselin/src/tournament.rs:
+crates/denselin/src/trsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

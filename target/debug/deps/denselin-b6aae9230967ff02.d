@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/denselin-b6aae9230967ff02.d: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/matrix.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs
+
+/root/repo/target/debug/deps/libdenselin-b6aae9230967ff02.rlib: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/matrix.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs
+
+/root/repo/target/debug/deps/libdenselin-b6aae9230967ff02.rmeta: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/matrix.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs
+
+crates/denselin/src/lib.rs:
+crates/denselin/src/blockcyclic.rs:
+crates/denselin/src/cholesky.rs:
+crates/denselin/src/condition.rs:
+crates/denselin/src/gemm.rs:
+crates/denselin/src/lu.rs:
+crates/denselin/src/matrix.rs:
+crates/denselin/src/qr.rs:
+crates/denselin/src/refine.rs:
+crates/denselin/src/tournament.rs:
+crates/denselin/src/trsm.rs:

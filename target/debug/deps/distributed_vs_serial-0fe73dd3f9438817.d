@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_vs_serial-0fe73dd3f9438817.d: tests/distributed_vs_serial.rs
+
+/root/repo/target/debug/deps/distributed_vs_serial-0fe73dd3f9438817: tests/distributed_vs_serial.rs
+
+tests/distributed_vs_serial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-b0902d121c918144.d: crates/simnet/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-b0902d121c918144: crates/simnet/tests/faults.rs
+
+crates/simnet/tests/faults.rs:

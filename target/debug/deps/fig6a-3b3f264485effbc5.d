@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-3b3f264485effbc5.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/libfig6a-3b3f264485effbc5.rmeta: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-d89e67224d8728ef.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/libfig6b-d89e67224d8728ef.rmeta: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-67e3d047a8485eb2.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-67e3d047a8485eb2.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/growth-9ec0346974847b16.d: crates/verifier/tests/growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrowth-9ec0346974847b16.rmeta: crates/verifier/tests/growth.rs Cargo.toml
+
+crates/verifier/tests/growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/growth-cb33cac55bb73e4a.d: crates/verifier/tests/growth.rs
+
+/root/repo/target/debug/deps/growth-cb33cac55bb73e4a: crates/verifier/tests/growth.rs
+
+crates/verifier/tests/growth.rs:

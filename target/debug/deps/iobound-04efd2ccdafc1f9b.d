@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iobound-04efd2ccdafc1f9b.d: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+/root/repo/target/debug/deps/libiobound-04efd2ccdafc1f9b.rlib: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+/root/repo/target/debug/deps/libiobound-04efd2ccdafc1f9b.rmeta: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+crates/iobound/src/lib.rs:
+crates/iobound/src/frontend.rs:
+crates/iobound/src/intensity.rs:
+crates/iobound/src/kernels.rs:
+crates/iobound/src/program.rs:
+crates/iobound/src/reuse.rs:
+crates/iobound/src/rho.rs:
+crates/iobound/src/verify.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/iobound-c51642b79bd7d8bd.d: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiobound-c51642b79bd7d8bd.rmeta: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs Cargo.toml
+
+crates/iobound/src/lib.rs:
+crates/iobound/src/frontend.rs:
+crates/iobound/src/intensity.rs:
+crates/iobound/src/kernels.rs:
+crates/iobound/src/program.rs:
+crates/iobound/src/reuse.rs:
+crates/iobound/src/rho.rs:
+crates/iobound/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-d901e321929d5400.d: tests/latency.rs
+
+/root/repo/target/debug/deps/latency-d901e321929d5400: tests/latency.rs
+
+tests/latency.rs:

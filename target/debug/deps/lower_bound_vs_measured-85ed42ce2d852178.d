@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bound_vs_measured-85ed42ce2d852178.d: tests/lower_bound_vs_measured.rs
+
+/root/repo/target/debug/deps/lower_bound_vs_measured-85ed42ce2d852178: tests/lower_bound_vs_measured.rs
+
+tests/lower_bound_vs_measured.rs:

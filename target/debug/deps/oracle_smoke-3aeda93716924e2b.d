@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_smoke-3aeda93716924e2b.d: crates/verifier/tests/oracle_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_smoke-3aeda93716924e2b.rmeta: crates/verifier/tests/oracle_smoke.rs Cargo.toml
+
+crates/verifier/tests/oracle_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

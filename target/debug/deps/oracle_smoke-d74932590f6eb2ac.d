@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_smoke-d74932590f6eb2ac.d: crates/verifier/tests/oracle_smoke.rs
+
+/root/repo/target/debug/deps/oracle_smoke-d74932590f6eb2ac: crates/verifier/tests/oracle_smoke.rs
+
+crates/verifier/tests/oracle_smoke.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pebbling-6c712f6d2642f686.d: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+/root/repo/target/debug/deps/pebbling-6c712f6d2642f686: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+crates/pebbling/src/lib.rs:
+crates/pebbling/src/builders.rs:
+crates/pebbling/src/cdag.rs:
+crates/pebbling/src/dominator.rs:
+crates/pebbling/src/dot.rs:
+crates/pebbling/src/game.rs:
+crates/pebbling/src/parallel.rs:
+crates/pebbling/src/partition.rs:
+crates/pebbling/src/schedule.rs:
+crates/pebbling/src/optimal.rs:

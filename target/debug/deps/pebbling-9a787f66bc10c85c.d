@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pebbling-9a787f66bc10c85c.d: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+/root/repo/target/debug/deps/libpebbling-9a787f66bc10c85c.rlib: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+/root/repo/target/debug/deps/libpebbling-9a787f66bc10c85c.rmeta: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+crates/pebbling/src/lib.rs:
+crates/pebbling/src/builders.rs:
+crates/pebbling/src/cdag.rs:
+crates/pebbling/src/dominator.rs:
+crates/pebbling/src/dot.rs:
+crates/pebbling/src/game.rs:
+crates/pebbling/src/parallel.rs:
+crates/pebbling/src/partition.rs:
+crates/pebbling/src/schedule.rs:
+crates/pebbling/src/optimal.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pebbling-aafcef7c2340acf0.d: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpebbling-aafcef7c2340acf0.rmeta: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs Cargo.toml
+
+crates/pebbling/src/lib.rs:
+crates/pebbling/src/builders.rs:
+crates/pebbling/src/cdag.rs:
+crates/pebbling/src/dominator.rs:
+crates/pebbling/src/dot.rs:
+crates/pebbling/src/game.rs:
+crates/pebbling/src/parallel.rs:
+crates/pebbling/src/partition.rs:
+crates/pebbling/src/schedule.rs:
+crates/pebbling/src/optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfsmoke-5fe514a3a5e3e57d.d: crates/bench/src/bin/perfsmoke.rs
+
+/root/repo/target/debug/deps/libperfsmoke-5fe514a3a5e3e57d.rmeta: crates/bench/src/bin/perfsmoke.rs
+
+crates/bench/src/bin/perfsmoke.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c1829374e5fbd852.d: crates/solversrv/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c1829374e5fbd852.rmeta: crates/solversrv/tests/properties.rs Cargo.toml
+
+crates/solversrv/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5c50469b398d2e4e.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5c50469b398d2e4e.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

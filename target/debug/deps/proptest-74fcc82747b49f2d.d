@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-74fcc82747b49f2d.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-74fcc82747b49f2d.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-74fcc82747b49f2d.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-9ca15cee7cfdcafe.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-9ca15cee7cfdcafe.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

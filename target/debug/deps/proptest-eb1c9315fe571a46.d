@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-eb1c9315fe571a46.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-eb1c9315fe571a46: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-374977ca0cdb8cae.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-374977ca0cdb8cae.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-70952fe0230952ee.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-70952fe0230952ee.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-70952fe0230952ee.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-79100afb723477b2.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-79100afb723477b2.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

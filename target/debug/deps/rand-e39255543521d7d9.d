@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e39255543521d7d9.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-e39255543521d7d9: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

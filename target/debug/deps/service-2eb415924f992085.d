@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-2eb415924f992085.d: crates/solversrv/tests/service.rs
+
+/root/repo/target/debug/deps/service-2eb415924f992085: crates/solversrv/tests/service.rs
+
+crates/solversrv/tests/service.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/servload-03801f169668c4a8.d: crates/bench/src/bin/servload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservload-03801f169668c4a8.rmeta: crates/bench/src/bin/servload.rs Cargo.toml
+
+crates/bench/src/bin/servload.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/servload-8ecba2e86ac358d6.d: crates/bench/src/bin/servload.rs
+
+/root/repo/target/debug/deps/libservload-8ecba2e86ac358d6.rmeta: crates/bench/src/bin/servload.rs
+
+crates/bench/src/bin/servload.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/simnet-406e8df52bc3466b.d: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimnet-406e8df52bc3466b.rmeta: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/collectives.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/faults.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

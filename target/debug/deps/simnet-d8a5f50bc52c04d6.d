@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simnet-d8a5f50bc52c04d6.d: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rlib: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rmeta: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/collectives.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/faults.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/solversrv-9d84f92a717b708d.d: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolversrv-9d84f92a717b708d.rmeta: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs Cargo.toml
+
+crates/solversrv/src/lib.rs:
+crates/solversrv/src/api.rs:
+crates/solversrv/src/cache.rs:
+crates/solversrv/src/client.rs:
+crates/solversrv/src/cluster/mod.rs:
+crates/solversrv/src/cluster/ring.rs:
+crates/solversrv/src/exec.rs:
+crates/solversrv/src/fingerprint.rs:
+crates/solversrv/src/service.rs:
+crates/solversrv/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3da91bcc7be2d3a2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-3da91bcc7be2d3a2.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

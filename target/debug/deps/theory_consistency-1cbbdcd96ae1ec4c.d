@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_consistency-1cbbdcd96ae1ec4c.d: tests/theory_consistency.rs
+
+/root/repo/target/debug/deps/theory_consistency-1cbbdcd96ae1ec4c: tests/theory_consistency.rs
+
+tests/theory_consistency.rs:

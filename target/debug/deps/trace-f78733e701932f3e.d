@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trace-f78733e701932f3e.d: crates/simnet/tests/trace.rs
+
+/root/repo/target/debug/deps/trace-f78733e701932f3e: crates/simnet/tests/trace.rs
+
+crates/simnet/tests/trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simnet

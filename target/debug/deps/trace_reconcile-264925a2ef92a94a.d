@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_reconcile-264925a2ef92a94a.d: tests/trace_reconcile.rs
+
+/root/repo/target/debug/deps/trace_reconcile-264925a2ef92a94a: tests/trace_reconcile.rs
+
+tests/trace_reconcile.rs:

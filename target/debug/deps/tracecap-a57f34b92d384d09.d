@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tracecap-a57f34b92d384d09.d: crates/bench/src/bin/tracecap.rs
+
+/root/repo/target/debug/deps/libtracecap-a57f34b92d384d09.rmeta: crates/bench/src/bin/tracecap.rs
+
+crates/bench/src/bin/tracecap.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

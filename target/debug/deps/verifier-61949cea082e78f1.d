@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/verifier-61949cea082e78f1.d: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+/root/repo/target/debug/deps/verifier-61949cea082e78f1: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/corpus.rs:
+crates/verifier/src/invariants.rs:
+crates/verifier/src/matgen.rs:
+crates/verifier/src/oracle.rs:
+crates/verifier/src/report.rs:
+crates/verifier/src/rng.rs:
+crates/verifier/src/scenario.rs:

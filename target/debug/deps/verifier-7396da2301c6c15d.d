@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/verifier-7396da2301c6c15d.d: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+/root/repo/target/debug/deps/libverifier-7396da2301c6c15d.rlib: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+/root/repo/target/debug/deps/libverifier-7396da2301c6c15d.rmeta: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/corpus.rs:
+crates/verifier/src/invariants.rs:
+crates/verifier/src/matgen.rs:
+crates/verifier/src/oracle.rs:
+crates/verifier/src/report.rs:
+crates/verifier/src/rng.rs:
+crates/verifier/src/scenario.rs:

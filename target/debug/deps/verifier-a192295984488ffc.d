@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/verifier-a192295984488ffc.d: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverifier-a192295984488ffc.rmeta: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs Cargo.toml
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/corpus.rs:
+crates/verifier/src/invariants.rs:
+crates/verifier/src/matgen.rs:
+crates/verifier/src/oracle.rs:
+crates/verifier/src/report.rs:
+crates/verifier/src/rng.rs:
+crates/verifier/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

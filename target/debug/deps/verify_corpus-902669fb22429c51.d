@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verify_corpus-902669fb22429c51.d: tests/verify_corpus.rs
+
+/root/repo/target/debug/deps/verify_corpus-902669fb22429c51: tests/verify_corpus.rs
+
+tests/verify_corpus.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verify_fuzz-a41dc7cb4eec6681.d: crates/bench/src/bin/verify_fuzz.rs
+
+/root/repo/target/debug/deps/libverify_fuzz-a41dc7cb4eec6681.rmeta: crates/bench/src/bin/verify_fuzz.rs
+
+crates/bench/src/bin/verify_fuzz.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

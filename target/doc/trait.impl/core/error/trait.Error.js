@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["simnet",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"simnet/error/enum.SimnetError.html\" title=\"enum simnet::error::SimnetError\">SimnetError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"simnet/threaded/struct.SpmdFailure.html\" title=\"struct simnet::threaded::SpmdFailure\">SpmdFailure</a>",0]]],["solversrv",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"solversrv/api/enum.SolveError.html\" title=\"enum solversrv::api::SolveError\">SolveError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[562,284]}

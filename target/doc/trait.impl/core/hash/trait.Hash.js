@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["solversrv",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"solversrv/fingerprint/struct.Fingerprint.html\" title=\"struct solversrv::fingerprint::Fingerprint\">Fingerprint</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[303]}

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conflux_bench-b0c133105dda54d6.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/release/deps/libconflux_bench-b0c133105dda54d6.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/release/deps/libconflux_bench-b0c133105dda54d6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/conflux_repro-f0e23028a9bf249f.d: src/lib.rs
+
+/root/repo/target/release/deps/libconflux_repro-f0e23028a9bf249f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconflux_repro-f0e23028a9bf249f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-226f9229e3843542.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-226f9229e3843542.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-226f9229e3843542.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/iobound-c4dad93c4c36f392.d: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+/root/repo/target/release/deps/libiobound-c4dad93c4c36f392.rlib: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+/root/repo/target/release/deps/libiobound-c4dad93c4c36f392.rmeta: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+crates/iobound/src/lib.rs:
+crates/iobound/src/frontend.rs:
+crates/iobound/src/intensity.rs:
+crates/iobound/src/kernels.rs:
+crates/iobound/src/program.rs:
+crates/iobound/src/reuse.rs:
+crates/iobound/src/rho.rs:
+crates/iobound/src/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1568ca6bb543f300.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1568ca6bb543f300.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1568ca6bb543f300.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c1eb8356b50ec488.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c1eb8356b50ec488.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c1eb8356b50ec488.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

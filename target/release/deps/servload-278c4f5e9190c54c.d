@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/servload-278c4f5e9190c54c.d: crates/bench/src/bin/servload.rs
+
+/root/repo/target/release/deps/servload-278c4f5e9190c54c: crates/bench/src/bin/servload.rs
+
+crates/bench/src/bin/servload.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sharded_service-02b7e9e1a65b3615.d: examples/sharded_service.rs
+
+/root/repo/target/release/examples/sharded_service-02b7e9e1a65b3615: examples/sharded_service.rs
+
+examples/sharded_service.rs:
