@@ -25,10 +25,10 @@
 
 use std::collections::HashMap;
 
-use denselin::gemm::matmul;
+use denselin::gemm::{auto_threads, matmul};
 use denselin::matrix::Matrix;
 use denselin::tournament::{local_candidates, lu_no_pivot, playoff_round, Candidates};
-use denselin::trsm::{trsm_lower_left, trsm_upper_right};
+use denselin::trsm::{trsm_lower_left_parallel, trsm_upper_right};
 use simnet::error::SimnetResult;
 use simnet::network::BcastAlgo;
 use simnet::stats::Rank;
@@ -496,9 +496,12 @@ fn rank_program(
         }
 
         // ---- Step 9: FactorizeA01 locally: A01 <- L00^{-1} · A01 ----
+        // Column-sliced over the shared worker pool: the multi-RHS solve is
+        // per-column independent, so the parallel route is bitwise
+        // identical and the per-rank flop/byte accounting is unchanged.
         if a01_local.cols() > 0 {
             ctx.compute("09:factorize-a01", "trsm", || {
-                trsm_lower_left(&a00, &mut a01_local, true)
+                trsm_lower_left_parallel(&a00, &mut a01_local, true, auto_threads())
             });
         }
 

@@ -24,15 +24,86 @@
 //! packed panels and a generic-size edge writeback.
 //!
 //! Parallelism is a work-stealing tile queue: the `(mc, nc)` macro-tiles of
-//! `C` form a shared queue (an atomic counter) drained by crossbeam scoped
-//! threads. Each tile performs its own full-`k` reduction in the same block
-//! order as the serial path, so parallel results are bitwise identical to
-//! serial ones.
+//! `C` form a shared queue (an atomic counter) drained by the persistent
+//! [`crate::pool`] worker threads (parked between calls, so a blocked
+//! factorization pays one pool wakeup per trailing update instead of one
+//! thread spawn per call). Each tile performs its own full-`k` reduction in
+//! the same block order as the serial path, so parallel results are bitwise
+//! identical to serial ones.
+//!
+//! Internally the packing and tile-update machinery operates on *strided
+//! views* (`MatView`) rather than owned [`Matrix`] values, so in-place
+//! consumers (the lookahead LU in [`lu_parallel`][mod@crate::lu_parallel]) can run trailing
+//! updates directly on submatrices of the factored buffer without block
+//! copies.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
+use crate::pool;
+
+/// A read-only strided view of a row-major block, the operand form of the
+/// packing routines. Carries a raw pointer so disjoint regions of one live
+/// buffer can be viewed while another region is concurrently written (the
+/// lookahead LU pipeline does exactly that); every read is `unsafe` and the
+/// creator vouches that the viewed region stays immutable for the view's
+/// whole use.
+#[derive(Clone, Copy)]
+pub(crate) struct MatView {
+    ptr: *const f64,
+    ld: usize,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: a MatView is a bundle of pointer + dims; the creator guarantees
+// the viewed region is not mutated while any thread reads through it.
+unsafe impl Send for MatView {}
+unsafe impl Sync for MatView {}
+
+impl MatView {
+    /// View an entire matrix.
+    pub(crate) fn of(m: &Matrix) -> MatView {
+        MatView {
+            ptr: m.as_slice().as_ptr(),
+            ld: m.cols().max(1),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// View a `rows x cols` region of an `ld`-strided row-major buffer.
+    ///
+    /// # Safety
+    /// `ptr` must point at the region's top-left element of a live buffer
+    /// with row stride `ld`, the region must stay in-bounds, and no thread
+    /// may write any element inside the region while the view is in use.
+    pub(crate) unsafe fn from_raw(ptr: *const f64, ld: usize, rows: usize, cols: usize) -> MatView {
+        MatView {
+            ptr,
+            ld,
+            rows,
+            cols,
+        }
+    }
+
+    /// Columns of the viewed region.
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` of the region as a slice.
+    ///
+    /// # Safety
+    /// `i < self.rows()`, plus the region-immutability contract of the
+    /// view's constructor.
+    #[inline]
+    unsafe fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        std::slice::from_raw_parts(self.ptr.add(i * self.ld), self.cols)
+    }
+}
 
 /// Rows of `C` held in registers per microkernel invocation.
 pub const MR: usize = 8;
@@ -231,6 +302,7 @@ pub fn gemm_blocked(
 
     let ldc = n;
     let cptr = c.as_mut_slice().as_mut_ptr();
+    let (av, bv) = (MatView::of(a), MatView::of(b));
     let mut abuf = Vec::new();
     let mut bbuf = Vec::new();
     for i0 in (0..m).step_by(blk.mc) {
@@ -238,10 +310,11 @@ pub fn gemm_blocked(
         for j0 in (0..n).step_by(blk.nc) {
             let nw = blk.nc.min(n - j0);
             // SAFETY: cptr points at the live `m x n` buffer of `c`, tiles
-            // are in-bounds, and this serial loop holds the only reference.
+            // are in-bounds, and this serial loop holds the only reference;
+            // the views borrow `a`/`b` which are not mutated here.
             unsafe {
                 packed_tile_update(
-                    cptr, ldc, alpha, a, b, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
+                    cptr, ldc, alpha, av, bv, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
                 );
             }
         }
@@ -289,7 +362,8 @@ pub struct TileQueueReport {
 }
 
 /// `C <- alpha * A * B + beta * C` with the `(mc, nc)` macro-tiles of `C`
-/// drained from a shared work queue by `threads` crossbeam scoped threads.
+/// drained from a shared work queue by `threads` workers of the persistent
+/// process-wide [`crate::pool`].
 ///
 /// Each tile performs its full `k` reduction in the same `kc`-block order
 /// as the serial path, so the result is bitwise identical to [`gemm`].
@@ -342,53 +416,51 @@ pub fn gemm_parallel_report(
     let tiles = mtiles * ntiles;
     let workers = threads.min(tiles);
     let next = AtomicUsize::new(0);
-    let cptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let cptr = pool::SyncPtr(c.as_mut_slice().as_mut_ptr());
     let ldc = n;
+    let (av, bv) = (MatView::of(a), MatView::of(b));
+    let drained: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
 
-    let tiles_per_worker = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                let cptr = &cptr;
-                scope.spawn(move |_| {
-                    let mut abuf = Vec::new();
-                    let mut bbuf = Vec::new();
-                    let mut drained = 0usize;
-                    loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= tiles {
-                            break;
-                        }
-                        let (ti, tj) = (t / ntiles, t % ntiles);
-                        let i0 = ti * blk.mc;
-                        let mh = blk.mc.min(m - i0);
-                        let j0 = tj * blk.nc;
-                        let nw = blk.nc.min(n - j0);
-                        // SAFETY: the atomic counter hands each tile index to
-                        // exactly one worker, tile (i0..i0+mh, j0..j0+nw)
-                        // regions are pairwise disjoint, and cptr outlives
-                        // the scope (borrowed from `c` above).
-                        unsafe {
-                            packed_tile_update(
-                                cptr.0, ldc, alpha, a, b, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
-                            );
-                        }
-                        drained += 1;
-                    }
-                    drained
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gemm_parallel worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("gemm_parallel scope failed");
+    pool::global().run(workers, &|w| {
+        let mut abuf = Vec::new();
+        let mut bbuf = Vec::new();
+        loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= tiles {
+                break;
+            }
+            let (ti, tj) = (t / ntiles, t % ntiles);
+            let i0 = ti * blk.mc;
+            let mh = blk.mc.min(m - i0);
+            let j0 = tj * blk.nc;
+            let nw = blk.nc.min(n - j0);
+            // SAFETY: the atomic counter hands each tile index to exactly
+            // one worker, tile (i0..i0+mh, j0..j0+nw) regions are pairwise
+            // disjoint, and cptr/views borrow `c`/`a`/`b` which outlive the
+            // pool job (`run` blocks until every worker retires).
+            unsafe {
+                packed_tile_update(
+                    cptr.get(),
+                    ldc,
+                    alpha,
+                    av,
+                    bv,
+                    i0,
+                    mh,
+                    j0,
+                    nw,
+                    blk,
+                    &mut abuf,
+                    &mut bbuf,
+                );
+            }
+            drained[w].fetch_add(1, Ordering::Relaxed);
+        }
+    });
 
     TileQueueReport {
         tiles,
-        tiles_per_worker,
+        tiles_per_worker: drained.into_iter().map(AtomicUsize::into_inner).collect(),
     }
 }
 
@@ -409,14 +481,19 @@ pub fn gemm_auto(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) 
     }
 }
 
-/// Thread count used by [`gemm_auto`]: `DENSELIN_GEMM_THREADS` override or
-/// the machine's available parallelism, cached per process.
+/// Thread count used by [`gemm_auto`], [`lu_parallel`][mod@crate::lu_parallel] and the
+/// parallel TRSM paths: the `DENSELIN_THREADS` override if set (the knob CI
+/// pins for deterministic scaling gates), else the legacy
+/// `DENSELIN_GEMM_THREADS` override, else the machine's available
+/// parallelism. Cached per process.
 pub fn auto_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        if let Ok(raw) = std::env::var("DENSELIN_GEMM_THREADS") {
-            if let Ok(t) = raw.trim().parse::<usize>() {
-                return t.max(1);
+        for var in ["DENSELIN_THREADS", "DENSELIN_GEMM_THREADS"] {
+            if let Ok(raw) = std::env::var(var) {
+                if let Ok(t) = raw.trim().parse::<usize>() {
+                    return t.max(1);
+                }
             }
         }
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -443,28 +520,24 @@ fn scale_in_place(c: &mut Matrix, beta: f64) {
     }
 }
 
-/// Raw pointer into `C` that can cross scoped-thread boundaries. Soundness
-/// rests on the tile queue handing out pairwise-disjoint `C` regions.
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
 /// Accumulate `C[i0..i0+mh, j0..j0+nw] += alpha * A[i0.., :] * B[:, j0..]`
 /// over the full reduction dimension, packing `kc`-deep panels of `A` and
 /// `B` and driving the register-blocked microkernel. `beta` must already be
-/// applied to `C`.
+/// applied to `C`. `i0`/`j0` are relative to the C region `cptr` points at,
+/// which may itself be an `ldc`-strided submatrix of a larger buffer.
 ///
 /// # Safety
-/// `cptr` must point at a live `? x ldc` row-major buffer covering the tile,
-/// and no other thread may concurrently touch rows `i0..i0+mh` columns
-/// `j0..j0+nw` of it.
+/// `cptr` must point at a live `ldc`-strided row-major region covering the
+/// tile, no other thread may concurrently touch rows `i0..i0+mh` columns
+/// `j0..j0+nw` of it, and the `a`/`b` views must satisfy their
+/// region-immutability contract for the duration of the call.
 #[allow(clippy::too_many_arguments)]
-unsafe fn packed_tile_update(
+pub(crate) unsafe fn packed_tile_update(
     cptr: *mut f64,
     ldc: usize,
     alpha: f64,
-    a: &Matrix,
-    b: &Matrix,
+    a: MatView,
+    b: MatView,
     i0: usize,
     mh: usize,
     j0: usize,
@@ -519,10 +592,19 @@ unsafe fn packed_tile_update(
 /// micro-panels. Panel `ip` stores its `MR` rows column-major (`kc` groups
 /// of `MR` consecutive values); rows past `mh` are zero-padded so the
 /// microkernel always reads full `MR` groups.
-fn pack_a(a: &Matrix, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<f64>) {
+///
+/// # Safety
+/// The block `(i0..i0+mh, p0..p0+kc)` must be in-bounds of the view and the
+/// view's region-immutability contract must hold for the call.
+unsafe fn pack_a(a: MatView, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<f64>) {
     let panels = mh.div_ceil(MR);
-    buf.clear();
-    buf.resize(panels * MR * kc, 0.0);
+    let len = panels * MR * kc;
+    // Every slot is written below (values or explicit padding), so reuse
+    // the buffer without the O(len) zero-fill a `resize` from empty costs.
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
     for ip in 0..panels {
         let base = ip * MR * kc;
         let rmax = MR.min(mh - ip * MR);
@@ -532,6 +614,11 @@ fn pack_a(a: &Matrix, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<
                 buf[base + kk * MR + r] = v;
             }
         }
+        for r in rmax..MR {
+            for kk in 0..kc {
+                buf[base + kk * MR + r] = 0.0;
+            }
+        }
     }
 }
 
@@ -539,10 +626,26 @@ fn pack_a(a: &Matrix, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<
 /// micro-panels. Panel `jp` stores its `nr` columns row-major (`kc` groups
 /// of `nr` consecutive values); columns past `nw` are zero-padded. The
 /// panel width `nr` matches the active microkernel's tile width.
-fn pack_b(b: &Matrix, p0: usize, j0: usize, kc: usize, nw: usize, nr: usize, buf: &mut Vec<f64>) {
+///
+/// # Safety
+/// The block `(p0..p0+kc, j0..j0+nw)` must be in-bounds of the view and the
+/// view's region-immutability contract must hold for the call.
+unsafe fn pack_b(
+    b: MatView,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nw: usize,
+    nr: usize,
+    buf: &mut Vec<f64>,
+) {
     let panels = nw.div_ceil(nr);
-    buf.clear();
-    buf.resize(panels * nr * kc, 0.0);
+    let len = panels * nr * kc;
+    // As in `pack_a`: all slots written below, skip the redundant zero-fill.
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
     for kk in 0..kc {
         let brow = &b.row(p0 + kk)[j0..j0 + nw];
         for jp in 0..panels {
@@ -550,6 +653,9 @@ fn pack_b(b: &Matrix, p0: usize, j0: usize, kc: usize, nw: usize, nr: usize, buf
             let cmax = nr.min(nw - jp * nr);
             for cc in 0..cmax {
                 buf[base + cc] = brow[jp * nr + cc];
+            }
+            for cc in cmax..nr {
+                buf[base + cc] = 0.0;
             }
         }
     }

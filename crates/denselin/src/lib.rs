@@ -8,8 +8,13 @@
 //! * [`matrix`] — the row-major [`matrix::Matrix`] type,
 //! * [`mod@gemm`] — packed register-blocked matrix multiply with a
 //!   work-stealing tile-queue parallel path,
-//! * [`trsm`] — the four triangular-solve variants LU needs,
+//! * [`trsm`] — the four triangular-solve variants LU needs, with
+//!   column-sliced parallel left-solves for multi-RHS batches,
 //! * [`lu`] — partial-pivoting LU (unblocked + blocked right-looking),
+//! * [`lu_parallel`][mod@lu_parallel] — the lookahead-pipelined
+//!   multithreaded LU, bitwise
+//!   identical to [`lu::lu_blocked`],
+//! * [`pool`] — the persistent worker pool every parallel kernel shares,
 //! * [`tournament`] — communication-avoiding tournament pivoting,
 //! * [`blockcyclic`] — ScaLAPACK-style block-cyclic index arithmetic.
 //!
@@ -35,7 +40,9 @@ pub mod cholesky;
 pub mod condition;
 pub mod gemm;
 pub mod lu;
+pub mod lu_parallel;
 pub mod matrix;
+pub mod pool;
 pub mod qr;
 pub mod refine;
 pub mod tournament;
@@ -44,8 +51,9 @@ pub mod trsm;
 pub use blockcyclic::{BlockCyclic1D, BlockCyclic2D};
 pub use cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
 pub use condition::{condition_estimate, one_norm};
-pub use gemm::{gemm, gemm_auto, gemm_parallel, matmul, GemmBlocking};
+pub use gemm::{auto_threads, gemm, gemm_auto, gemm_parallel, matmul, GemmBlocking};
 pub use lu::{lu_blocked, lu_unblocked, LuFactorization, SingularMatrix};
+pub use lu_parallel::{lu_parallel, lu_parallel_with};
 pub use matrix::Matrix;
 pub use qr::{qr_householder, tsqr, QrFactorization};
 pub use refine::{solve_refined, Refinement};

@@ -7,7 +7,9 @@
 
 use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
-use crate::trsm::{trsm_lower_left, trsm_upper_left};
+use crate::trsm::{
+    trsm_lower_left, trsm_lower_left_parallel, trsm_upper_left, trsm_upper_left_parallel,
+};
 
 /// Result of an LU factorization with partial pivoting: `P A = L U`.
 ///
@@ -258,6 +260,11 @@ impl LuFactorization {
     /// result is bitwise-identical to `solve` (same permutation gather,
     /// same blocked triangular sweeps).
     ///
+    /// Large multi-RHS batches are column-sliced across the worker pool
+    /// ([`trsm_lower_left_parallel`] / [`trsm_upper_left_parallel`]), which
+    /// is bitwise-neutral — a triangular solve is independent per column —
+    /// so the parallel route never changes the answer.
+    ///
     /// # Panics
     /// Panics if `out` and `b` shapes differ or `b.rows()` does not match
     /// the factored order.
@@ -267,8 +274,14 @@ impl LuFactorization {
         for (i, &src) in self.perm.iter().enumerate() {
             out.row_mut(i).copy_from_slice(b.row(src));
         }
-        trsm_lower_left(&self.lu, out, true);
-        trsm_upper_left(&self.lu, out, false);
+        let threads = crate::gemm::auto_threads();
+        if threads > 1 && b.cols() > 1 && b.rows() * b.cols() >= 16 * 1024 {
+            trsm_lower_left_parallel(&self.lu, out, true, threads);
+            trsm_upper_left_parallel(&self.lu, out, false, threads);
+        } else {
+            trsm_lower_left(&self.lu, out, true);
+            trsm_upper_left(&self.lu, out, false);
+        }
     }
 }
 

@@ -9,9 +9,23 @@
 //!
 //! Each has a `unit_diag` flag matching the LAPACK `diag` parameter; LU
 //! stores `L` with an implicit unit diagonal.
+//!
+//! The left-solve variants additionally come in `_parallel` forms
+//! ([`trsm_lower_left_parallel`], [`trsm_upper_left_parallel`]) that slice
+//! the right-hand-side columns across the shared [`crate::pool`]. A
+//! triangular solve is independent per RHS column — every output column is
+//! a function of the factor and its own input column, with identical
+//! per-element operation order regardless of which columns sit beside it —
+//! so the sliced solves are bitwise identical to the serial ones. This is
+//! what makes solversrv's coalesced multi-RHS batches scale: previously
+//! only the GEMM inside the blocked path was threaded, and the
+//! unblocked-fringe substitution serialized on one core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
+use crate::pool::{self, SyncPtr};
 
 /// Panel width above which the blocked (GEMM-rich) path is taken.
 const BLOCK: usize = 48;
@@ -103,6 +117,66 @@ pub fn trsm_lower_right(b: &mut Matrix, l: &Matrix, unit_diag: bool) {
         }
         k -= kb;
     }
+}
+
+/// [`trsm_lower_left`] with the RHS columns sliced into contiguous chunks
+/// solved concurrently on `threads` workers of the shared pool. Bitwise
+/// identical to the serial solve (per-column independence; see the module
+/// docs). Falls back to the serial kernel for a single column or worker.
+pub fn trsm_lower_left_parallel(l: &Matrix, b: &mut Matrix, unit_diag: bool, threads: usize) {
+    let n = check_left(l, b);
+    if threads.max(1) == 1 || b.cols() < 2 || n == 0 {
+        return trsm_lower_left(l, b, unit_diag);
+    }
+    parallel_columns(b, threads, &|sub| trsm_lower_left(l, sub, unit_diag));
+}
+
+/// [`trsm_upper_left`] with the RHS columns sliced across the shared pool;
+/// bitwise identical to the serial solve.
+pub fn trsm_upper_left_parallel(u: &Matrix, b: &mut Matrix, unit_diag: bool, threads: usize) {
+    let n = check_left(u, b);
+    if threads.max(1) == 1 || b.cols() < 2 || n == 0 {
+        return trsm_upper_left(u, b, unit_diag);
+    }
+    parallel_columns(b, threads, &|sub| trsm_upper_left(u, sub, unit_diag));
+}
+
+/// Split `b`'s columns into up to `threads` contiguous chunks and run `f`
+/// on a contiguous copy of each chunk concurrently, writing the results
+/// back in place. `f` must treat each column independently (every TRSM
+/// does), which makes the transformation bitwise-neutral.
+fn parallel_columns(b: &mut Matrix, threads: usize, f: &(dyn Fn(&mut Matrix) + Sync)) {
+    let (rows, cols) = b.shape();
+    let chunk = cols.div_ceil(threads.max(1));
+    let nchunks = cols.div_ceil(chunk);
+    let ptr = SyncPtr(b.as_mut_slice().as_mut_ptr());
+    let counter = AtomicUsize::new(0);
+    pool::global().run(nchunks, &|_| loop {
+        let ci = counter.fetch_add(1, Ordering::Relaxed);
+        if ci >= nchunks {
+            break;
+        }
+        let lo = ci * chunk;
+        let hi = ((ci + 1) * chunk).min(cols);
+        let w = hi - lo;
+        let mut v = Vec::with_capacity(rows * w);
+        for i in 0..rows {
+            // SAFETY: chunks are pairwise-disjoint column ranges of `b`,
+            // which outlives the pool job (`run` joins before returning).
+            unsafe {
+                v.extend_from_slice(std::slice::from_raw_parts(ptr.get().add(i * cols + lo), w));
+            }
+        }
+        let mut sub = Matrix::from_vec(rows, w, v);
+        f(&mut sub);
+        for i in 0..rows {
+            // SAFETY: as above.
+            unsafe {
+                std::slice::from_raw_parts_mut(ptr.get().add(i * cols + lo), w)
+                    .copy_from_slice(sub.row(i));
+            }
+        }
+    });
 }
 
 fn check_left(t: &Matrix, b: &Matrix) -> usize {
@@ -335,6 +409,36 @@ mod tests {
         }
         trsm_upper_right(&mut b, &u, true);
         assert!(b.allclose(&x, 1e-8));
+    }
+
+    #[test]
+    fn parallel_left_solves_bitwise_match_serial() {
+        let mut rng = StdRng::seed_from_u64(26);
+        for (n, nrhs) in [(5, 3), (64, 17), (130, 40), (97, 1)] {
+            let l = random_lower(&mut rng, n);
+            let u = random_upper(&mut rng, n);
+            let b0 = Matrix::random(&mut rng, n, nrhs);
+            for threads in [1, 2, 4, 7] {
+                let mut bs = b0.clone();
+                trsm_lower_left(&l, &mut bs, false);
+                let mut bp = b0.clone();
+                trsm_lower_left_parallel(&l, &mut bp, false, threads);
+                assert_eq!(
+                    bs.as_slice(),
+                    bp.as_slice(),
+                    "lower n={n} nrhs={nrhs} threads={threads}"
+                );
+                let mut us = b0.clone();
+                trsm_upper_left(&u, &mut us, true);
+                let mut up = b0.clone();
+                trsm_upper_left_parallel(&u, &mut up, true, threads);
+                assert_eq!(
+                    us.as_slice(),
+                    up.as_slice(),
+                    "upper n={n} nrhs={nrhs} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

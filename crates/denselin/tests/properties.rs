@@ -3,8 +3,12 @@
 use denselin::cholesky::{cholesky_blocked, cholesky_residual, random_spd};
 use denselin::gemm::{gemm, gemm_blocked, gemm_parallel, gemm_reference, matmul, GemmBlocking};
 use denselin::lu::{lu_blocked, lu_unblocked};
+use denselin::lu_parallel::lu_parallel_with;
 use denselin::matrix::Matrix;
-use denselin::trsm::{trsm_lower_left, trsm_upper_left, trsm_upper_right};
+use denselin::trsm::{
+    trsm_lower_left, trsm_lower_left_parallel, trsm_upper_left, trsm_upper_left_parallel,
+    trsm_upper_right,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -159,6 +163,83 @@ proptest! {
         let b = a.matmul(&x);
         let f = lu_unblocked(&a).unwrap();
         prop_assert!(f.solve(&b).allclose(&x, 1e-7));
+    }
+
+    #[test]
+    fn lu_parallel_is_bitwise_blocked(
+        seed in 0u64..500,
+        m in 1usize..40,
+        n in 1usize..40,
+        nb in 1usize..12,
+        threads in 1usize..8,
+    ) {
+        // the lookahead pipeline reorders work, never arithmetic: over
+        // awkward rectangular shapes, panel widths, and thread counts the
+        // factors must be bitwise identical to the serial blocked path,
+        // and singularity refusals must name the same column
+        let a = rand_matrix(seed, m, n);
+        let serial = lu_blocked(&a, nb);
+        let parallel = lu_parallel_with(&a, nb, threads);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(s.perm, p.perm);
+                prop_assert_eq!(s.sign, p.sign);
+                prop_assert_eq!(s.lu.as_slice(), p.lu.as_slice());
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(se.column, pe.column),
+            (s, p) => prop_assert!(
+                false,
+                "outcomes differ: serial ok={} parallel ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn lu_parallel_wilkinson_bitwise(n in 2usize..60, nb in 1usize..10, threads in 1usize..8) {
+        // the maximal-element-growth matrix: every elimination step doubles
+        // the trailing entries, so any arithmetic reordering would surface
+        // as a bit flip long before it perturbed the residual
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if j + 1 == n || i == j {
+                1.0
+            } else if i > j {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let s = lu_blocked(&a, nb).unwrap();
+        let p = lu_parallel_with(&a, nb, threads).unwrap();
+        prop_assert_eq!(s.perm, p.perm);
+        prop_assert_eq!(s.lu.as_slice(), p.lu.as_slice());
+    }
+
+    #[test]
+    fn parallel_trsm_is_bitwise_serial(
+        seed in 0u64..500,
+        n in 1usize..40,
+        rhs in 1usize..9,
+        threads in 1usize..8,
+    ) {
+        // column slicing must not change any per-column reduction order
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j { rng.gen_range(-0.5..0.5) } else if i == j { 1.5 } else { 0.0 }
+        });
+        let b0 = Matrix::random(&mut rng, n, rhs);
+        let mut serial = b0.clone();
+        trsm_lower_left(&l, &mut serial, false);
+        let mut parallel = b0.clone();
+        trsm_lower_left_parallel(&l, &mut parallel, false, threads);
+        prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+        let u = l.transpose();
+        let mut su = b0.clone();
+        trsm_upper_left(&u, &mut su, true);
+        let mut pu = b0;
+        trsm_upper_left_parallel(&u, &mut pu, true, threads);
+        prop_assert_eq!(su.as_slice(), pu.as_slice());
     }
 
     #[test]

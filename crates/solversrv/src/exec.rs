@@ -10,9 +10,9 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 use conflux::{factorize_threaded, ConfluxConfig};
-use denselin::gemm::gemm_auto;
+use denselin::gemm::{auto_threads, gemm_auto};
 use denselin::lu::SingularMatrix;
-use denselin::{cholesky_blocked, lu_blocked, solve_refined, Matrix};
+use denselin::{cholesky_blocked, lu_blocked, lu_parallel_with, solve_refined, Matrix};
 
 use crate::api::{MatrixKind, SolveError, SolveResponse};
 use crate::cache::CachedFactor;
@@ -117,7 +117,17 @@ pub(crate) fn factor_matrix(
             // fall through to the local path on any distributed failure
         }
     }
-    match lu_blocked(a, panel.min(n.max(1))) {
+    // Large local factorizations (including the cluster shards' failover
+    // path) go through the lookahead pipeline; it is bitwise identical to
+    // `lu_blocked`, so the verifier's cross-implementation equality oracles
+    // are unaffected by the routing threshold.
+    let nb = panel.min(n.max(1));
+    let local = if n >= LOOKAHEAD_MIN_N {
+        lu_parallel_with(a, nb, auto_threads())
+    } else {
+        lu_blocked(a, nb)
+    };
+    match local {
         Ok(f) => Ok(Factored {
             factor: CachedFactor::Lu(f),
             distributed: false,
@@ -126,6 +136,11 @@ pub(crate) fn factor_matrix(
         Err(SingularMatrix { column }) => Err(SolveError::Singular { column }),
     }
 }
+
+/// Order at which the local factorization switches from `lu_blocked` to
+/// the lookahead-pipelined `lu_parallel` (below this the pipeline's
+/// stripe/band bookkeeping costs more than it saves).
+const LOOKAHEAD_MIN_N: usize = 192;
 
 /// Refine one solve that missed its tolerance. Returns the refined
 /// solution, its residual and the per-sweep history, or

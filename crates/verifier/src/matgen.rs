@@ -52,9 +52,7 @@ pub fn matrix(class: MatrixClass, n: usize, mseed: u64) -> Matrix {
             b.matmul(&c)
         }
         MatrixClass::Wilkinson => Matrix::from_fn(n, n, |i, j| {
-            if j == n - 1 {
-                1.0
-            } else if i == j {
+            if j == n - 1 || i == j {
                 1.0
             } else if i > j {
                 -1.0

@@ -4,10 +4,13 @@
 //!
 //! The contracts, per kernel:
 //!
-//! * **LU** — `denselin::lu_blocked` (serial reference), the orchestrated
-//!   COnfLUX driver, the threaded SPMD driver (when the scenario meets its
-//!   restrictions), the 2D ScaLAPACK-like baseline, and the CANDMC-like
-//!   2.5D baseline. Every implementation that returns factors must achieve
+//! * **LU** — `denselin::lu_blocked` (serial reference), the
+//!   lookahead-pipelined `denselin::lu_parallel` (which must be *bitwise*
+//!   identical to the serial reference at every thread count), the
+//!   orchestrated COnfLUX driver, the threaded SPMD driver (when the
+//!   scenario meets its restrictions), the 2D ScaLAPACK-like baseline, and
+//!   the CANDMC-like 2.5D baseline. Every implementation that returns
+//!   factors must achieve
 //!   a class-aware residual; implementations may only *decline* (error) on
 //!   degenerate inputs or under a fatal fault plan. The 2D baseline uses
 //!   partial pivoting like the serial reference, so their permutations must
@@ -29,7 +32,7 @@ use conflux::{
     LuGrid,
 };
 use denselin::cholesky::cholesky_residual;
-use denselin::{cholesky_blocked, lu_blocked, LuFactorization, Matrix};
+use denselin::{cholesky_blocked, lu_blocked, lu_parallel_with, LuFactorization, Matrix};
 use simnet::{CommStats, FaultPlan, Supervisor, Trace};
 use solversrv::{serve, serve_cluster, ClusterConfig, MatrixKind, ServiceConfig, SolveRequest};
 
@@ -198,6 +201,7 @@ fn judge_lu(
 }
 
 /// Apply the invariant battery to one run's artifacts.
+#[allow(clippy::too_many_arguments)]
 fn judge_invariants(
     label: &str,
     invs: &[Box<dyn Invariant>],
@@ -275,6 +279,56 @@ fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
         Ok(Ok(f)) => classify(f, &a),
     };
     judge_lu("serial", &serial, sc, false, &mut out);
+
+    // --- lookahead-pipelined parallel LU ----------------------------------
+    // The pipeline reorders *work* (panel k+1 overlaps the trailing update
+    // of step k) but never reassociates arithmetic, so its contract with
+    // the serial reference is bitwise equality — not just "close": the
+    // permutation, sign, packed factors, and any singularity refusal must
+    // all be identical at every thread count. Derive the thread count from
+    // the scenario seed so the fuzz corpus sweeps 1..=8 deterministically.
+    let lupar_threads = 1 + (sc.mseed % 8) as usize;
+    let lupar = match catch_unwind(AssertUnwindSafe(|| {
+        lu_parallel_with(&a, sc.v, lupar_threads)
+    })) {
+        Err(_) => LuOutcome::Declined("panicked".into()),
+        Ok(Err(e)) => LuOutcome::Declined(format!("{e:?}")),
+        Ok(Ok(f)) => classify(f, &a),
+    };
+    judge_lu("lupar", &lupar, sc, false, &mut out);
+    let parity = match (&lupar, &serial) {
+        (LuOutcome::Factored { factors: pf, .. }, LuOutcome::Factored { factors: sf, .. }) => {
+            let mut problems = Vec::new();
+            if pf.perm != sf.perm {
+                problems.push("permutations differ".to_string());
+            }
+            if pf.sign != sf.sign {
+                problems.push(format!("signs differ ({} vs {})", pf.sign, sf.sign));
+            }
+            if pf.lu.as_slice() != sf.lu.as_slice() {
+                problems.push("packed factors differ bitwise".to_string());
+            }
+            if problems.is_empty() {
+                Ok(format!("bitwise identical at {lupar_threads} threads"))
+            } else {
+                Err(problems.join("; "))
+            }
+        }
+        (LuOutcome::Declined(p), LuOutcome::Declined(s)) => {
+            if p == s {
+                Ok(format!("both declined identically: {p}"))
+            } else {
+                Err(format!("declines differ: lupar '{p}' vs serial '{s}'"))
+            }
+        }
+        (LuOutcome::Factored { .. }, LuOutcome::Declined(s)) => {
+            Err(format!("lupar factored where serial declined ({s})"))
+        }
+        (LuOutcome::Declined(p), LuOutcome::Factored { .. }) => {
+            Err(format!("lupar declined ({p}) where serial factored"))
+        }
+    };
+    out.push(CheckOutcome::from("lupar-matches-serial-bitwise", parity));
 
     // --- orchestrated COnfLUX --------------------------------------------
     let grid = LuGrid::new(sc.ranks(), sc.q, sc.c);

@@ -428,7 +428,7 @@ mod tests {
         for seed in 0..2_000u64 {
             let sc = Scenario::from_seed(seed);
             sc.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert!(sc.n() % sc.v == 0);
+            assert!(sc.n().is_multiple_of(sc.v));
             assert!(sc.v >= sc.c);
         }
     }
