@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-8c70a73839cb8a63.d: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+/root/repo/target/debug/deps/libbaselines-8c70a73839cb8a63.rmeta: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/candmc.rs:
+crates/baselines/src/lu2d.rs:
+crates/baselines/src/models.rs:
+crates/baselines/src/lu1d.rs:
+crates/baselines/src/lu2d_threaded.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/conflux-7af418982dd783d0.d: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+/root/repo/target/debug/deps/libconflux-7af418982dd783d0.rmeta: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+crates/conflux/src/lib.rs:
+crates/conflux/src/algorithm.rs:
+crates/conflux/src/grid.rs:
+crates/conflux/src/model.rs:
+crates/conflux/src/pivoting.rs:
+crates/conflux/src/store.rs:
+crates/conflux/src/threaded.rs:
+crates/conflux/src/tiles.rs:
+crates/conflux/src/cholesky.rs:
+crates/conflux/src/mmm25d.rs:
+crates/conflux/src/redistribute.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/conflux_bench-ca3ed0de7b1e26fe.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/debug/deps/libconflux_bench-ca3ed0de7b1e26fe.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/solversrv-15426a398dab8c6f.d: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+/root/repo/target/debug/deps/libsolversrv-15426a398dab8c6f.rmeta: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+crates/solversrv/src/lib.rs:
+crates/solversrv/src/api.rs:
+crates/solversrv/src/cache.rs:
+crates/solversrv/src/client.rs:
+crates/solversrv/src/cluster/mod.rs:
+crates/solversrv/src/cluster/ring.rs:
+crates/solversrv/src/exec.rs:
+crates/solversrv/src/fingerprint.rs:
+crates/solversrv/src/service.rs:
+crates/solversrv/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/verifier-19147f89c8635495.d: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+/root/repo/target/debug/deps/libverifier-19147f89c8635495.rmeta: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/corpus.rs:
+crates/verifier/src/invariants.rs:
+crates/verifier/src/matgen.rs:
+crates/verifier/src/oracle.rs:
+crates/verifier/src/report.rs:
+crates/verifier/src/rng.rs:
+crates/verifier/src/scenario.rs:

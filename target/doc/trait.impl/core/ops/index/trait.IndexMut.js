@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["denselin",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/index/trait.IndexMut.html\" title=\"trait core::ops::index::IndexMut\">IndexMut</a>&lt;(<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.usize.html\">usize</a>, <a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.usize.html\">usize</a>)&gt; for <a class=\"struct\" href=\"denselin/matrix/struct.Matrix.html\" title=\"struct denselin::matrix::Matrix\">Matrix</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[508]}

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/baselines-5fcd976d450d5739.d: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaselines-5fcd976d450d5739.rmeta: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/candmc.rs:
+crates/baselines/src/lu2d.rs:
+crates/baselines/src/models.rs:
+crates/baselines/src/lu1d.rs:
+crates/baselines/src/lu2d_threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/baselines-deb5d87e74819dd6.d: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+/root/repo/target/release/deps/libbaselines-deb5d87e74819dd6.rlib: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+/root/repo/target/release/deps/libbaselines-deb5d87e74819dd6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/candmc.rs crates/baselines/src/lu2d.rs crates/baselines/src/models.rs crates/baselines/src/lu1d.rs crates/baselines/src/lu2d_threaded.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/candmc.rs:
+crates/baselines/src/lu2d.rs:
+crates/baselines/src/models.rs:
+crates/baselines/src/lu1d.rs:
+crates/baselines/src/lu2d_threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_kernels-12e698e3540d290f.d: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_kernels-12e698e3540d290f.rmeta: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+crates/bench/benches/bench_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

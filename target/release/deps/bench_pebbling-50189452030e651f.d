@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_pebbling-50189452030e651f.d: crates/bench/benches/bench_pebbling.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_pebbling-50189452030e651f.rmeta: crates/bench/benches/bench_pebbling.rs Cargo.toml
+
+crates/bench/benches/bench_pebbling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

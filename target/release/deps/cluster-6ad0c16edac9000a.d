@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cluster-6ad0c16edac9000a.d: crates/solversrv/tests/cluster.rs Cargo.toml
+
+/root/repo/target/release/deps/libcluster-6ad0c16edac9000a.rmeta: crates/solversrv/tests/cluster.rs Cargo.toml
+
+crates/solversrv/tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

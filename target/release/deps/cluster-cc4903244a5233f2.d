@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster-cc4903244a5233f2.d: crates/solversrv/tests/cluster.rs
+
+/root/repo/target/release/deps/cluster-cc4903244a5233f2: crates/solversrv/tests/cluster.rs
+
+crates/solversrv/tests/cluster.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/conflux-005fc72e67056c01.d: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+/root/repo/target/release/deps/libconflux-005fc72e67056c01.rlib: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+/root/repo/target/release/deps/libconflux-005fc72e67056c01.rmeta: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+crates/conflux/src/lib.rs:
+crates/conflux/src/algorithm.rs:
+crates/conflux/src/grid.rs:
+crates/conflux/src/model.rs:
+crates/conflux/src/pivoting.rs:
+crates/conflux/src/store.rs:
+crates/conflux/src/threaded.rs:
+crates/conflux/src/tiles.rs:
+crates/conflux/src/cholesky.rs:
+crates/conflux/src/mmm25d.rs:
+crates/conflux/src/redistribute.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/conflux-77058f932102a76d.d: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs Cargo.toml
+
+/root/repo/target/release/deps/libconflux-77058f932102a76d.rmeta: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs Cargo.toml
+
+crates/conflux/src/lib.rs:
+crates/conflux/src/algorithm.rs:
+crates/conflux/src/grid.rs:
+crates/conflux/src/model.rs:
+crates/conflux/src/pivoting.rs:
+crates/conflux/src/store.rs:
+crates/conflux/src/threaded.rs:
+crates/conflux/src/tiles.rs:
+crates/conflux/src/cholesky.rs:
+crates/conflux/src/mmm25d.rs:
+crates/conflux/src/redistribute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

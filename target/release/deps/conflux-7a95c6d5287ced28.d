@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/conflux-7a95c6d5287ced28.d: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+/root/repo/target/release/deps/conflux-7a95c6d5287ced28: crates/conflux/src/lib.rs crates/conflux/src/algorithm.rs crates/conflux/src/grid.rs crates/conflux/src/model.rs crates/conflux/src/pivoting.rs crates/conflux/src/store.rs crates/conflux/src/threaded.rs crates/conflux/src/tiles.rs crates/conflux/src/cholesky.rs crates/conflux/src/mmm25d.rs crates/conflux/src/redistribute.rs
+
+crates/conflux/src/lib.rs:
+crates/conflux/src/algorithm.rs:
+crates/conflux/src/grid.rs:
+crates/conflux/src/model.rs:
+crates/conflux/src/pivoting.rs:
+crates/conflux/src/store.rs:
+crates/conflux/src/threaded.rs:
+crates/conflux/src/tiles.rs:
+crates/conflux/src/cholesky.rs:
+crates/conflux/src/mmm25d.rs:
+crates/conflux/src/redistribute.rs:

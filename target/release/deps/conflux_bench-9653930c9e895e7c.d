@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conflux_bench-9653930c9e895e7c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/release/deps/libconflux_bench-9653930c9e895e7c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+/root/repo/target/release/deps/libconflux_bench-9653930c9e895e7c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/conflux_bench-e24c1a6d8f7368de.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs Cargo.toml
+
+/root/repo/target/release/deps/libconflux_bench-e24c1a6d8f7368de.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conflux_repro-0c59a282ac59f444.d: src/lib.rs
+
+/root/repo/target/release/deps/conflux_repro-0c59a282ac59f444: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/conflux_repro-1229eba94a45f7ed.d: src/lib.rs
+
+/root/repo/target/release/deps/libconflux_repro-1229eba94a45f7ed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconflux_repro-1229eba94a45f7ed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conflux_repro-5050d9d80585f697.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libconflux_repro-5050d9d80585f697.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-21833436776fb15d.d: .stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-21833436776fb15d.rmeta: .stubs/criterion/src/lib.rs Cargo.toml
+
+.stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

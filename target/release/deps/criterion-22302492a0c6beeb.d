@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-22302492a0c6beeb.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-22302492a0c6beeb: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

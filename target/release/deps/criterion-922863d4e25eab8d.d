@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-922863d4e25eab8d.d: .stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-922863d4e25eab8d.rmeta: .stubs/criterion/src/lib.rs Cargo.toml
+
+.stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d94254971d97bf99.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d94254971d97bf99.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d94254971d97bf99.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_backend-9549009b6b6f6acc.d: tests/cross_backend.rs
+
+/root/repo/target/release/deps/cross_backend-9549009b6b6f6acc: tests/cross_backend.rs
+
+tests/cross_backend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_backend-cd371fa066c72ebb.d: tests/cross_backend.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_backend-cd371fa066c72ebb.rmeta: tests/cross_backend.rs Cargo.toml
+
+tests/cross_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

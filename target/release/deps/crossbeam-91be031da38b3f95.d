@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-91be031da38b3f95.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-91be031da38b3f95: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-c5f7a34a625945ec.d: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-c5f7a34a625945ec.rmeta: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+.stubs/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

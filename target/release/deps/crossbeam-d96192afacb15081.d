@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-d96192afacb15081.d: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-d96192afacb15081.rmeta: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+.stubs/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

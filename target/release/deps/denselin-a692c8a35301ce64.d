@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/denselin-a692c8a35301ce64.d: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/lu_parallel.rs crates/denselin/src/matrix.rs crates/denselin/src/pool.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs Cargo.toml
+
+/root/repo/target/release/deps/libdenselin-a692c8a35301ce64.rmeta: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/lu_parallel.rs crates/denselin/src/matrix.rs crates/denselin/src/pool.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs Cargo.toml
+
+crates/denselin/src/lib.rs:
+crates/denselin/src/blockcyclic.rs:
+crates/denselin/src/cholesky.rs:
+crates/denselin/src/condition.rs:
+crates/denselin/src/gemm.rs:
+crates/denselin/src/lu.rs:
+crates/denselin/src/lu_parallel.rs:
+crates/denselin/src/matrix.rs:
+crates/denselin/src/pool.rs:
+crates/denselin/src/qr.rs:
+crates/denselin/src/refine.rs:
+crates/denselin/src/tournament.rs:
+crates/denselin/src/trsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/denselin-c05cee5435d88fc4.d: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/lu_parallel.rs crates/denselin/src/matrix.rs crates/denselin/src/pool.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs
+
+/root/repo/target/release/deps/denselin-c05cee5435d88fc4: crates/denselin/src/lib.rs crates/denselin/src/blockcyclic.rs crates/denselin/src/cholesky.rs crates/denselin/src/condition.rs crates/denselin/src/gemm.rs crates/denselin/src/lu.rs crates/denselin/src/lu_parallel.rs crates/denselin/src/matrix.rs crates/denselin/src/pool.rs crates/denselin/src/qr.rs crates/denselin/src/refine.rs crates/denselin/src/tournament.rs crates/denselin/src/trsm.rs
+
+crates/denselin/src/lib.rs:
+crates/denselin/src/blockcyclic.rs:
+crates/denselin/src/cholesky.rs:
+crates/denselin/src/condition.rs:
+crates/denselin/src/gemm.rs:
+crates/denselin/src/lu.rs:
+crates/denselin/src/lu_parallel.rs:
+crates/denselin/src/matrix.rs:
+crates/denselin/src/pool.rs:
+crates/denselin/src/qr.rs:
+crates/denselin/src/refine.rs:
+crates/denselin/src/tournament.rs:
+crates/denselin/src/trsm.rs:

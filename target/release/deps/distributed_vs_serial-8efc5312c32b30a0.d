@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed_vs_serial-8efc5312c32b30a0.d: tests/distributed_vs_serial.rs
+
+/root/repo/target/release/deps/distributed_vs_serial-8efc5312c32b30a0: tests/distributed_vs_serial.rs
+
+tests/distributed_vs_serial.rs:

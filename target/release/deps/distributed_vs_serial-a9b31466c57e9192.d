@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/distributed_vs_serial-a9b31466c57e9192.d: tests/distributed_vs_serial.rs Cargo.toml
+
+/root/repo/target/release/deps/libdistributed_vs_serial-a9b31466c57e9192.rmeta: tests/distributed_vs_serial.rs Cargo.toml
+
+tests/distributed_vs_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-270cb33905addedd.d: crates/simnet/tests/faults.rs
+
+/root/repo/target/release/deps/faults-270cb33905addedd: crates/simnet/tests/faults.rs
+
+crates/simnet/tests/faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/faults-68aef667d1beb288.d: crates/simnet/tests/faults.rs Cargo.toml
+
+/root/repo/target/release/deps/libfaults-68aef667d1beb288.rmeta: crates/simnet/tests/faults.rs Cargo.toml
+
+crates/simnet/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

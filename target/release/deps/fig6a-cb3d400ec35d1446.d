@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6a-cb3d400ec35d1446.d: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6a-cb3d400ec35d1446.rmeta: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+crates/bench/src/bin/fig6a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6a-e2b84d760c02b37d.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/release/deps/fig6a-e2b84d760c02b37d: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6b-79a6d73f53c48785.d: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6b-79a6d73f53c48785.rmeta: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+crates/bench/src/bin/fig6b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6b-8f5c37b7c0d87e78.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/release/deps/fig6b-8f5c37b7c0d87e78: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8cd28f49afd97f1a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8cd28f49afd97f1a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

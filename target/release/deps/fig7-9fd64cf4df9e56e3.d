@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7-9fd64cf4df9e56e3.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7-9fd64cf4df9e56e3.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

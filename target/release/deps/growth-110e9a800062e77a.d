@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/growth-110e9a800062e77a.d: crates/verifier/tests/growth.rs Cargo.toml
+
+/root/repo/target/release/deps/libgrowth-110e9a800062e77a.rmeta: crates/verifier/tests/growth.rs Cargo.toml
+
+crates/verifier/tests/growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/growth-fffe1022e2d81b77.d: crates/verifier/tests/growth.rs
+
+/root/repo/target/release/deps/growth-fffe1022e2d81b77: crates/verifier/tests/growth.rs
+
+crates/verifier/tests/growth.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/iobound-9ebd331c5da7f951.d: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libiobound-9ebd331c5da7f951.rmeta: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs Cargo.toml
+
+crates/iobound/src/lib.rs:
+crates/iobound/src/frontend.rs:
+crates/iobound/src/intensity.rs:
+crates/iobound/src/kernels.rs:
+crates/iobound/src/program.rs:
+crates/iobound/src/reuse.rs:
+crates/iobound/src/rho.rs:
+crates/iobound/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iobound-f5d6811094c5730e.d: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+/root/repo/target/release/deps/iobound-f5d6811094c5730e: crates/iobound/src/lib.rs crates/iobound/src/frontend.rs crates/iobound/src/intensity.rs crates/iobound/src/kernels.rs crates/iobound/src/program.rs crates/iobound/src/reuse.rs crates/iobound/src/rho.rs crates/iobound/src/verify.rs
+
+crates/iobound/src/lib.rs:
+crates/iobound/src/frontend.rs:
+crates/iobound/src/intensity.rs:
+crates/iobound/src/kernels.rs:
+crates/iobound/src/program.rs:
+crates/iobound/src/reuse.rs:
+crates/iobound/src/rho.rs:
+crates/iobound/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency-54fc2884ae06aa3a.d: tests/latency.rs
+
+/root/repo/target/release/deps/latency-54fc2884ae06aa3a: tests/latency.rs
+
+tests/latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/latency-d47d9f5a3b602b0e.d: tests/latency.rs Cargo.toml
+
+/root/repo/target/release/deps/liblatency-d47d9f5a3b602b0e.rmeta: tests/latency.rs Cargo.toml
+
+tests/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

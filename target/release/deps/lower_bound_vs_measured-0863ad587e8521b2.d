@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lower_bound_vs_measured-0863ad587e8521b2.d: tests/lower_bound_vs_measured.rs Cargo.toml
+
+/root/repo/target/release/deps/liblower_bound_vs_measured-0863ad587e8521b2.rmeta: tests/lower_bound_vs_measured.rs Cargo.toml
+
+tests/lower_bound_vs_measured.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lower_bound_vs_measured-4e2e2a7f2eb848fd.d: tests/lower_bound_vs_measured.rs
+
+/root/repo/target/release/deps/lower_bound_vs_measured-4e2e2a7f2eb848fd: tests/lower_bound_vs_measured.rs
+
+tests/lower_bound_vs_measured.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_smoke-648ea64fda4c4149.d: crates/verifier/tests/oracle_smoke.rs
+
+/root/repo/target/release/deps/oracle_smoke-648ea64fda4c4149: crates/verifier/tests/oracle_smoke.rs
+
+crates/verifier/tests/oracle_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oracle_smoke-9eb03309447a96db.d: crates/verifier/tests/oracle_smoke.rs Cargo.toml
+
+/root/repo/target/release/deps/liboracle_smoke-9eb03309447a96db.rmeta: crates/verifier/tests/oracle_smoke.rs Cargo.toml
+
+crates/verifier/tests/oracle_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pebbling-0d6caadc5e36a87f.d: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+/root/repo/target/release/deps/pebbling-0d6caadc5e36a87f: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs
+
+crates/pebbling/src/lib.rs:
+crates/pebbling/src/builders.rs:
+crates/pebbling/src/cdag.rs:
+crates/pebbling/src/dominator.rs:
+crates/pebbling/src/dot.rs:
+crates/pebbling/src/game.rs:
+crates/pebbling/src/parallel.rs:
+crates/pebbling/src/partition.rs:
+crates/pebbling/src/schedule.rs:
+crates/pebbling/src/optimal.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pebbling-e0c4b85d779b781e.d: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs Cargo.toml
+
+/root/repo/target/release/deps/libpebbling-e0c4b85d779b781e.rmeta: crates/pebbling/src/lib.rs crates/pebbling/src/builders.rs crates/pebbling/src/cdag.rs crates/pebbling/src/dominator.rs crates/pebbling/src/dot.rs crates/pebbling/src/game.rs crates/pebbling/src/parallel.rs crates/pebbling/src/partition.rs crates/pebbling/src/schedule.rs crates/pebbling/src/optimal.rs Cargo.toml
+
+crates/pebbling/src/lib.rs:
+crates/pebbling/src/builders.rs:
+crates/pebbling/src/cdag.rs:
+crates/pebbling/src/dominator.rs:
+crates/pebbling/src/dot.rs:
+crates/pebbling/src/game.rs:
+crates/pebbling/src/parallel.rs:
+crates/pebbling/src/partition.rs:
+crates/pebbling/src/schedule.rs:
+crates/pebbling/src/optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

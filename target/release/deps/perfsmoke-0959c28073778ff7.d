@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfsmoke-0959c28073778ff7.d: crates/bench/src/bin/perfsmoke.rs
+
+/root/repo/target/release/deps/perfsmoke-0959c28073778ff7: crates/bench/src/bin/perfsmoke.rs
+
+crates/bench/src/bin/perfsmoke.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/perfsmoke-39c44700ee4f0b14.d: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+/root/repo/target/release/deps/libperfsmoke-39c44700ee4f0b14.rmeta: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+crates/bench/src/bin/perfsmoke.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-1c9ab86e11af39ce.d: crates/denselin/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-1c9ab86e11af39ce.rmeta: crates/denselin/tests/properties.rs Cargo.toml
+
+crates/denselin/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-321e44f853cc2666.d: crates/solversrv/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-321e44f853cc2666.rmeta: crates/solversrv/tests/properties.rs Cargo.toml
+
+crates/solversrv/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-361f3e8cb2f39dbe.d: crates/denselin/tests/properties.rs
+
+/root/repo/target/release/deps/properties-361f3e8cb2f39dbe: crates/denselin/tests/properties.rs
+
+crates/denselin/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c4f10df2c7a3a804.d: crates/solversrv/tests/properties.rs
+
+/root/repo/target/release/deps/properties-c4f10df2c7a3a804: crates/solversrv/tests/properties.rs
+
+crates/solversrv/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-c7faeab544943a8d.d: crates/simnet/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-c7faeab544943a8d.rmeta: crates/simnet/tests/properties.rs Cargo.toml
+
+crates/simnet/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-fd303b9927ec7247.d: crates/simnet/tests/properties.rs
+
+/root/repo/target/release/deps/properties-fd303b9927ec7247: crates/simnet/tests/properties.rs
+
+crates/simnet/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-0c0b7c867a49ba3c.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-0c0b7c867a49ba3c: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

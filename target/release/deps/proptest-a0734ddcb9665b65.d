@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-a0734ddcb9665b65.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-a0734ddcb9665b65.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-c26cacf01868cf90.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-c26cacf01868cf90.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-091e45d55499b890.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-091e45d55499b890.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

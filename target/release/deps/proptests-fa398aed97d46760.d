@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-fa398aed97d46760.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-fa398aed97d46760: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-682778e8673fdf14.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-682778e8673fdf14: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

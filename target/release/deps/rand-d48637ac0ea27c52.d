@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-d48637ac0ea27c52.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-d48637ac0ea27c52.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-e5b7238443cd2634.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-e5b7238443cd2634.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

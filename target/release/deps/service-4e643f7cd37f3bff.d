@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service-4e643f7cd37f3bff.d: crates/solversrv/tests/service.rs
+
+/root/repo/target/release/deps/service-4e643f7cd37f3bff: crates/solversrv/tests/service.rs
+
+crates/solversrv/tests/service.rs:

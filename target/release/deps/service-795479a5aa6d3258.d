@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/service-795479a5aa6d3258.d: crates/solversrv/tests/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libservice-795479a5aa6d3258.rmeta: crates/solversrv/tests/service.rs Cargo.toml
+
+crates/solversrv/tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/servload-7c980f7e02d6cd15.d: crates/bench/src/bin/servload.rs Cargo.toml
+
+/root/repo/target/release/deps/libservload-7c980f7e02d6cd15.rmeta: crates/bench/src/bin/servload.rs Cargo.toml
+
+crates/bench/src/bin/servload.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

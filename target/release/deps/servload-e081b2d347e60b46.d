@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/servload-e081b2d347e60b46.d: crates/bench/src/bin/servload.rs
+
+/root/repo/target/release/deps/servload-e081b2d347e60b46: crates/bench/src/bin/servload.rs
+
+crates/bench/src/bin/servload.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simnet-06da562f587b0694.d: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/simnet-06da562f587b0694: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/collectives.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/faults.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:

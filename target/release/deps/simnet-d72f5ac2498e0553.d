@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/simnet-d72f5ac2498e0553.d: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimnet-d72f5ac2498e0553.rmeta: crates/simnet/src/lib.rs crates/simnet/src/collectives.rs crates/simnet/src/cost.rs crates/simnet/src/error.rs crates/simnet/src/faults.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/threaded.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/collectives.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/faults.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/threaded.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/solversrv-5c1dd54f28ddb440.d: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+/root/repo/target/release/deps/solversrv-5c1dd54f28ddb440: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+crates/solversrv/src/lib.rs:
+crates/solversrv/src/api.rs:
+crates/solversrv/src/cache.rs:
+crates/solversrv/src/client.rs:
+crates/solversrv/src/cluster/mod.rs:
+crates/solversrv/src/cluster/ring.rs:
+crates/solversrv/src/exec.rs:
+crates/solversrv/src/fingerprint.rs:
+crates/solversrv/src/service.rs:
+crates/solversrv/src/stats.rs:

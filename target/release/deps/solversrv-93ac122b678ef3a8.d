@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/solversrv-93ac122b678ef3a8.d: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libsolversrv-93ac122b678ef3a8.rmeta: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs Cargo.toml
+
+crates/solversrv/src/lib.rs:
+crates/solversrv/src/api.rs:
+crates/solversrv/src/cache.rs:
+crates/solversrv/src/client.rs:
+crates/solversrv/src/cluster/mod.rs:
+crates/solversrv/src/cluster/ring.rs:
+crates/solversrv/src/exec.rs:
+crates/solversrv/src/fingerprint.rs:
+crates/solversrv/src/service.rs:
+crates/solversrv/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/solversrv-c6217de2a700e01f.d: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+/root/repo/target/release/deps/libsolversrv-c6217de2a700e01f.rlib: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+/root/repo/target/release/deps/libsolversrv-c6217de2a700e01f.rmeta: crates/solversrv/src/lib.rs crates/solversrv/src/api.rs crates/solversrv/src/cache.rs crates/solversrv/src/client.rs crates/solversrv/src/cluster/mod.rs crates/solversrv/src/cluster/ring.rs crates/solversrv/src/exec.rs crates/solversrv/src/fingerprint.rs crates/solversrv/src/service.rs crates/solversrv/src/stats.rs
+
+crates/solversrv/src/lib.rs:
+crates/solversrv/src/api.rs:
+crates/solversrv/src/cache.rs:
+crates/solversrv/src/client.rs:
+crates/solversrv/src/cluster/mod.rs:
+crates/solversrv/src/cluster/ring.rs:
+crates/solversrv/src/exec.rs:
+crates/solversrv/src/fingerprint.rs:
+crates/solversrv/src/service.rs:
+crates/solversrv/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-148453beedb320f7.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-148453beedb320f7.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-46c64490e05f6c37.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-46c64490e05f6c37: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

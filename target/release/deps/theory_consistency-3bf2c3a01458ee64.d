@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theory_consistency-3bf2c3a01458ee64.d: tests/theory_consistency.rs Cargo.toml
+
+/root/repo/target/release/deps/libtheory_consistency-3bf2c3a01458ee64.rmeta: tests/theory_consistency.rs Cargo.toml
+
+tests/theory_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theory_consistency-47b665249b6a41a7.d: tests/theory_consistency.rs
+
+/root/repo/target/release/deps/theory_consistency-47b665249b6a41a7: tests/theory_consistency.rs
+
+tests/theory_consistency.rs:

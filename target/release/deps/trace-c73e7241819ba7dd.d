@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trace-c73e7241819ba7dd.d: crates/simnet/tests/trace.rs
+
+/root/repo/target/release/deps/trace-c73e7241819ba7dd: crates/simnet/tests/trace.rs
+
+crates/simnet/tests/trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simnet

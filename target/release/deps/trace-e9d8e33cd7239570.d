@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/trace-e9d8e33cd7239570.d: crates/simnet/tests/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace-e9d8e33cd7239570.rmeta: crates/simnet/tests/trace.rs Cargo.toml
+
+crates/simnet/tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simnet
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_reconcile-21dbe0e280d33aad.d: tests/trace_reconcile.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_reconcile-21dbe0e280d33aad.rmeta: tests/trace_reconcile.rs Cargo.toml
+
+tests/trace_reconcile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

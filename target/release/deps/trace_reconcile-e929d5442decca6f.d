@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_reconcile-e929d5442decca6f.d: tests/trace_reconcile.rs
+
+/root/repo/target/release/deps/trace_reconcile-e929d5442decca6f: tests/trace_reconcile.rs
+
+tests/trace_reconcile.rs:

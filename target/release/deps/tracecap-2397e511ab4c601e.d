@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tracecap-2397e511ab4c601e.d: crates/bench/src/bin/tracecap.rs
+
+/root/repo/target/release/deps/tracecap-2397e511ab4c601e: crates/bench/src/bin/tracecap.rs
+
+crates/bench/src/bin/tracecap.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

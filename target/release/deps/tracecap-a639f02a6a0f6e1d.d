@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tracecap-a639f02a6a0f6e1d.d: crates/bench/src/bin/tracecap.rs Cargo.toml
+
+/root/repo/target/release/deps/libtracecap-a639f02a6a0f6e1d.rmeta: crates/bench/src/bin/tracecap.rs Cargo.toml
+
+crates/bench/src/bin/tracecap.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

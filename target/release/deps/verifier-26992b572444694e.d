@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/verifier-26992b572444694e.d: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs Cargo.toml
+
+/root/repo/target/release/deps/libverifier-26992b572444694e.rmeta: crates/verifier/src/lib.rs crates/verifier/src/corpus.rs crates/verifier/src/invariants.rs crates/verifier/src/matgen.rs crates/verifier/src/oracle.rs crates/verifier/src/report.rs crates/verifier/src/rng.rs crates/verifier/src/scenario.rs Cargo.toml
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/corpus.rs:
+crates/verifier/src/invariants.rs:
+crates/verifier/src/matgen.rs:
+crates/verifier/src/oracle.rs:
+crates/verifier/src/report.rs:
+crates/verifier/src/rng.rs:
+crates/verifier/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

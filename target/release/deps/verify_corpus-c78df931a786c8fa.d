@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/verify_corpus-c78df931a786c8fa.d: tests/verify_corpus.rs Cargo.toml
+
+/root/repo/target/release/deps/libverify_corpus-c78df931a786c8fa.rmeta: tests/verify_corpus.rs Cargo.toml
+
+tests/verify_corpus.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

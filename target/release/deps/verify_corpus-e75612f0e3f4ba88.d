@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/verify_corpus-e75612f0e3f4ba88.d: tests/verify_corpus.rs
+
+/root/repo/target/release/deps/verify_corpus-e75612f0e3f4ba88: tests/verify_corpus.rs
+
+tests/verify_corpus.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/verify_fuzz-9a1c5b553c180fb7.d: crates/bench/src/bin/verify_fuzz.rs
+
+/root/repo/target/release/deps/verify_fuzz-9a1c5b553c180fb7: crates/bench/src/bin/verify_fuzz.rs
+
+crates/bench/src/bin/verify_fuzz.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

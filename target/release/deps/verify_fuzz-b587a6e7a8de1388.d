@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/verify_fuzz-b587a6e7a8de1388.d: crates/bench/src/bin/verify_fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libverify_fuzz-b587a6e7a8de1388.rmeta: crates/bench/src/bin/verify_fuzz.rs Cargo.toml
+
+crates/bench/src/bin/verify_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cholesky_25d-1062d8d366c69268.d: examples/cholesky_25d.rs
+
+/root/repo/target/release/examples/cholesky_25d-1062d8d366c69268: examples/cholesky_25d.rs
+
+examples/cholesky_25d.rs:

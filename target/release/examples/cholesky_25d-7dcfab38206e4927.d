@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cholesky_25d-7dcfab38206e4927.d: examples/cholesky_25d.rs Cargo.toml
+
+/root/repo/target/release/examples/libcholesky_25d-7dcfab38206e4927.rmeta: examples/cholesky_25d.rs Cargo.toml
+
+examples/cholesky_25d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/comm_volume-682de5ea42b00d38.d: examples/comm_volume.rs Cargo.toml
+
+/root/repo/target/release/examples/libcomm_volume-682de5ea42b00d38.rmeta: examples/comm_volume.rs Cargo.toml
+
+examples/comm_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/comm_volume-c667aec5170ae3d9.d: examples/comm_volume.rs
+
+/root/repo/target/release/examples/comm_volume-c667aec5170ae3d9: examples/comm_volume.rs
+
+examples/comm_volume.rs:

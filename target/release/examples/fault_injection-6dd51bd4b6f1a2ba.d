@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fault_injection-6dd51bd4b6f1a2ba.d: examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/release/examples/libfault_injection-6dd51bd4b6f1a2ba.rmeta: examples/fault_injection.rs Cargo.toml
+
+examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-aef730afd6bab41f.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-aef730afd6bab41f: examples/fault_injection.rs
+
+examples/fault_injection.rs:

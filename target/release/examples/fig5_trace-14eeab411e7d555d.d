@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fig5_trace-14eeab411e7d555d.d: examples/fig5_trace.rs Cargo.toml
+
+/root/repo/target/release/examples/libfig5_trace-14eeab411e7d555d.rmeta: examples/fig5_trace.rs Cargo.toml
+
+examples/fig5_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

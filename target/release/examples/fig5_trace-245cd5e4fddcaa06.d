@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fig5_trace-245cd5e4fddcaa06.d: examples/fig5_trace.rs
+
+/root/repo/target/release/examples/fig5_trace-245cd5e4fddcaa06: examples/fig5_trace.rs
+
+examples/fig5_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lower_bounds-4749c79d5619b7d7.d: examples/lower_bounds.rs
+
+/root/repo/target/release/examples/lower_bounds-4749c79d5619b7d7: examples/lower_bounds.rs
+
+examples/lower_bounds.rs:

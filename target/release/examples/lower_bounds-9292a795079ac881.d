@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/lower_bounds-9292a795079ac881.d: examples/lower_bounds.rs Cargo.toml
+
+/root/repo/target/release/examples/liblower_bounds-9292a795079ac881.rmeta: examples/lower_bounds.rs Cargo.toml
+
+examples/lower_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

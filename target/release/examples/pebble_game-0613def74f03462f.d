@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pebble_game-0613def74f03462f.d: examples/pebble_game.rs
+
+/root/repo/target/release/examples/pebble_game-0613def74f03462f: examples/pebble_game.rs
+
+examples/pebble_game.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/pebble_game-25b469cf655a0f2f.d: examples/pebble_game.rs Cargo.toml
+
+/root/repo/target/release/examples/libpebble_game-25b469cf655a0f2f.rmeta: examples/pebble_game.rs Cargo.toml
+
+examples/pebble_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

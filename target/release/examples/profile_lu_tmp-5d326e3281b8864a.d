@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_lu_tmp-5d326e3281b8864a.d: examples/profile_lu_tmp.rs
+
+/root/repo/target/release/examples/profile_lu_tmp-5d326e3281b8864a: examples/profile_lu_tmp.rs
+
+examples/profile_lu_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_lu_tmp-88ddc4cce7181731.d: examples/profile_lu_tmp.rs
+
+/root/repo/target/release/examples/profile_lu_tmp-88ddc4cce7181731: examples/profile_lu_tmp.rs
+
+examples/profile_lu_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-65e0d8236ed5c74a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-65e0d8236ed5c74a: examples/quickstart.rs
+
+examples/quickstart.rs:

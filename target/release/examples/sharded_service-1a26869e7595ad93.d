@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sharded_service-1a26869e7595ad93.d: examples/sharded_service.rs
+
+/root/repo/target/release/examples/sharded_service-1a26869e7595ad93: examples/sharded_service.rs
+
+examples/sharded_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sharded_service-a1857400396f713c.d: examples/sharded_service.rs Cargo.toml
+
+/root/repo/target/release/examples/libsharded_service-a1857400396f713c.rmeta: examples/sharded_service.rs Cargo.toml
+
+examples/sharded_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

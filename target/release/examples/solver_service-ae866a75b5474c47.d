@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/solver_service-ae866a75b5474c47.d: examples/solver_service.rs Cargo.toml
+
+/root/repo/target/release/examples/libsolver_service-ae866a75b5474c47.rmeta: examples/solver_service.rs Cargo.toml
+
+examples/solver_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/solver_service-b01ce2d3aa94c016.d: examples/solver_service.rs
+
+/root/repo/target/release/examples/solver_service-b01ce2d3aa94c016: examples/solver_service.rs
+
+examples/solver_service.rs:

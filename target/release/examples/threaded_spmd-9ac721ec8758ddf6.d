@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_spmd-9ac721ec8758ddf6.d: examples/threaded_spmd.rs
+
+/root/repo/target/release/examples/threaded_spmd-9ac721ec8758ddf6: examples/threaded_spmd.rs
+
+examples/threaded_spmd.rs:

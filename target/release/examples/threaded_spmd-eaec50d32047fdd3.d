@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/threaded_spmd-eaec50d32047fdd3.d: examples/threaded_spmd.rs Cargo.toml
+
+/root/repo/target/release/examples/libthreaded_spmd-eaec50d32047fdd3.rmeta: examples/threaded_spmd.rs Cargo.toml
+
+examples/threaded_spmd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

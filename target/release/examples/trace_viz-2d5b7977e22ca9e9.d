@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/trace_viz-2d5b7977e22ca9e9.d: examples/trace_viz.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrace_viz-2d5b7977e22ca9e9.rmeta: examples/trace_viz.rs Cargo.toml
+
+examples/trace_viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_viz-d03a5dc11fdfecbd.d: examples/trace_viz.rs
+
+/root/repo/target/release/examples/trace_viz-d03a5dc11fdfecbd: examples/trace_viz.rs
+
+examples/trace_viz.rs:

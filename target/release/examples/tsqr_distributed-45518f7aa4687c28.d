@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tsqr_distributed-45518f7aa4687c28.d: examples/tsqr_distributed.rs
+
+/root/repo/target/release/examples/tsqr_distributed-45518f7aa4687c28: examples/tsqr_distributed.rs
+
+examples/tsqr_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tsqr_distributed-61c19ccd3a092b90.d: examples/tsqr_distributed.rs Cargo.toml
+
+/root/repo/target/release/examples/libtsqr_distributed-61c19ccd3a092b90.rmeta: examples/tsqr_distributed.rs Cargo.toml
+
+examples/tsqr_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

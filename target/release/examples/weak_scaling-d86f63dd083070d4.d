@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/weak_scaling-d86f63dd083070d4.d: examples/weak_scaling.rs Cargo.toml
+
+/root/repo/target/release/examples/libweak_scaling-d86f63dd083070d4.rmeta: examples/weak_scaling.rs Cargo.toml
+
+examples/weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

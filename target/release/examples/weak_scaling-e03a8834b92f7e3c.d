@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weak_scaling-e03a8834b92f7e3c.d: examples/weak_scaling.rs
+
+/root/repo/target/release/examples/weak_scaling-e03a8834b92f7e3c: examples/weak_scaling.rs
+
+examples/weak_scaling.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcriterion.rlib: /root/repo/.stubs/criterion/src/lib.rs

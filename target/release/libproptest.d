@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/.stubs/proptest/src/lib.rs
