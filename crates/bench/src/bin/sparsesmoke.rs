@@ -1,0 +1,341 @@
+//! `sparsesmoke` — smoke benchmark of the sparse kernel family
+//! (`sparselin`) and its serving path, writing `BENCH_sparse.json` at the
+//! repo root.
+//!
+//! Three stories, matching the crate's design claims:
+//!
+//! 1. **SpMV is memory-bound**: effective GB/s (from the crate's own byte
+//!    accounting) against a measured STREAM-triad roofline, serial and
+//!    parallel. The roofline fraction is reported, not gated — a matrix
+//!    that fits in cache legitimately beats DRAM bandwidth.
+//! 2. **Preconditioning pays in iterations**: CG on the 5-point Laplacian
+//!    under None/Jacobi/SymGS. `--check` gates that every variant converges
+//!    and that symmetric Gauss–Seidel beats unpreconditioned CG.
+//! 3. **The setup cache amortizes**: through `solversrv`, the first solve
+//!    pays the preconditioner setup (`factor_time > 0`), every warm solve
+//!    skips it entirely (`factor_time == 0`). `--check` gates both, plus
+//!    serial↔parallel SpMV bitwise identity.
+//!
+//! Usage: `cargo run --release -p conflux-bench --bin sparsesmoke --
+//! [--quick] [--check] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use denselin::gemm::auto_threads;
+use denselin::matrix::Matrix;
+use solversrv::{serve, Preconditioner, ServiceConfig, SolveRequest};
+use sparselin::{
+    banded, cg, random_density, spd_laplacian, spmv, spmv_bytes, spmv_parallel, CgConfig,
+    CsrMatrix, PrecondSetup, SplitMix64,
+};
+
+struct SpmvEntry {
+    pattern: &'static str,
+    n: usize,
+    nnz: usize,
+    threads: usize,
+    seconds: f64,
+    gbs: f64,
+}
+
+struct CgEntry {
+    precond: &'static str,
+    n: usize,
+    iterations: usize,
+    converged: bool,
+    seconds: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_sparse.json", env!("CARGO_MANIFEST_DIR")));
+
+    let reps = if quick { 3 } else { 5 };
+    let threads = auto_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("# sparsesmoke: {threads} thread(s), {cores} core(s)");
+
+    // ---- STREAM-triad roofline: a[i] = b[i] + s·c[i] ----------------------
+    let stream_len = if quick { 1 << 22 } else { 1 << 24 };
+    let stream_gbs = stream_triad_gbs(stream_len, reps);
+    println!("# stream triad: {stream_gbs:.2} GB/s over {stream_len} doubles");
+
+    // ---- SpMV GB/s, serial and parallel, plus the bitwise parity gate ----
+    let grid = if quick { 256 } else { 512 };
+    let spmv_cases: Vec<(&'static str, CsrMatrix)> = vec![
+        ("laplacian", spd_laplacian(grid, grid, 0.0)),
+        ("banded", banded(grid * grid / 16, 8, 42)),
+        (
+            "random",
+            random_density(if quick { 2048 } else { 4096 }, 0.01, 43),
+        ),
+    ];
+    let mut spmv_entries: Vec<SpmvEntry> = Vec::new();
+    let mut bitwise_ok = true;
+    for (pattern, a) in &spmv_cases {
+        let n = a.rows();
+        let mut r = SplitMix64::new(7);
+        let x: Vec<f64> = (0..n).map(|_| r.symmetric()).collect();
+        let bytes = spmv_bytes(a) as f64;
+
+        let mut y = vec![0.0f64; n];
+        let t = best_of(reps, || spmv(a, &x, &mut y).unwrap());
+        push_spmv(&mut spmv_entries, pattern, n, a.nnz(), 1, t, bytes);
+        let y_serial = y.clone();
+
+        if threads > 1 {
+            let t = best_of(reps, || spmv_parallel(a, &x, &mut y, threads).unwrap());
+            push_spmv(&mut spmv_entries, pattern, n, a.nnz(), threads, t, bytes);
+            if y.iter()
+                .zip(&y_serial)
+                .any(|(p, s)| p.to_bits() != s.to_bits())
+            {
+                eprintln!("# BITWISE VIOLATION: parallel spmv diverges on {pattern}");
+                bitwise_ok = false;
+            }
+        }
+    }
+
+    // ---- CG iterations per preconditioner on the shift-free Laplacian ----
+    // shift 0 keeps the condition number O(grid²): the variants separate
+    let cg_grid = if quick { 48 } else { 64 };
+    let a_cg = spd_laplacian(cg_grid, cg_grid, 0.0);
+    let n_cg = a_cg.rows();
+    let mut r = SplitMix64::new(11);
+    let b_cg: Vec<f64> = (0..n_cg).map(|_| r.symmetric()).collect();
+    let mut cg_entries: Vec<CgEntry> = Vec::new();
+    for (name, precond) in [
+        ("none", Preconditioner::None),
+        ("jacobi", Preconditioner::Jacobi),
+        ("symgs", Preconditioner::SymGs),
+    ] {
+        let setup = PrecondSetup::prepare(precond, &a_cg).unwrap();
+        let cfg = CgConfig {
+            tol: 1e-10,
+            max_iters: 4 * n_cg,
+            threads,
+            record_iterates: false,
+        };
+        let t0 = Instant::now();
+        let run = cg(&a_cg, &b_cg, &setup, &cfg).unwrap();
+        let seconds = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>10}  n={n_cg:<6} iters={:<5} converged={} {seconds:>8.4} s",
+            format!("cg_{name}"),
+            run.iterations,
+            run.converged
+        );
+        cg_entries.push(CgEntry {
+            precond: name,
+            n: n_cg,
+            iterations: run.iterations,
+            converged: run.converged,
+            seconds,
+        });
+    }
+
+    // ---- setup-cache amortization through the service ---------------------
+    let svc_grid = if quick { 48 } else { 96 };
+    let a_svc = spd_laplacian(svc_grid, svc_grid, 0.5);
+    let n_svc = a_svc.rows();
+    let mut r = SplitMix64::new(13);
+    let b_svc = Matrix::from_fn(n_svc, 1, |_, _| r.symmetric());
+    let hits = 8usize;
+    let ((miss_factor, miss_total, hit_factor_max, hit_total), _report) =
+        serve(ServiceConfig::default(), |h| {
+            h.register_sparse(1, a_svc.clone(), Preconditioner::SymGs)
+                .unwrap();
+            let miss = h
+                .solve(SolveRequest::new(1, b_svc.clone()).with_tolerance(1e-9))
+                .unwrap();
+            let mut hit_factor_max = Duration::ZERO;
+            let mut hit_total = Duration::ZERO;
+            for _ in 0..hits {
+                let hit = h
+                    .solve(SolveRequest::new(1, b_svc.clone()).with_tolerance(1e-9))
+                    .unwrap();
+                assert!(hit.stats.cache_hit);
+                hit_factor_max = hit_factor_max.max(hit.stats.factor_time);
+                hit_total += hit.stats.factor_time + hit.stats.solve_time;
+            }
+            (
+                miss.stats.factor_time,
+                miss.stats.factor_time + miss.stats.solve_time,
+                hit_factor_max,
+                hit_total / hits as u32,
+            )
+        });
+    println!(
+        "# service: miss setup {:.1} µs (total {:.1} µs), warm solve {:.1} µs mean over {hits}",
+        miss_factor.as_secs_f64() * 1e6,
+        miss_total.as_secs_f64() * 1e6,
+        hit_total.as_secs_f64() * 1e6
+    );
+
+    // ---- render BENCH_sparse.json (hand-rolled: no serde in-tree) ---------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_sparse/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"stream_gbs\": {stream_gbs:.3},");
+    json.push_str("  \"spmv\": [\n");
+    for (i, e) in spmv_entries.iter().enumerate() {
+        let comma = if i + 1 < spmv_entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"pattern\": \"{}\", \"n\": {}, \"nnz\": {}, \"threads\": {}, \
+             \"seconds\": {:.6}, \"gbs\": {:.3}, \"roofline_fraction\": {:.3} }}{comma}",
+            e.pattern,
+            e.n,
+            e.nnz,
+            e.threads,
+            e.seconds,
+            e.gbs,
+            e.gbs / stream_gbs
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"cg\": [\n");
+    for (i, e) in cg_entries.iter().enumerate() {
+        let comma = if i + 1 < cg_entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"precond\": \"{}\", \"n\": {}, \"iterations\": {}, \
+             \"converged\": {}, \"seconds\": {:.6} }}{comma}",
+            e.precond, e.n, e.iterations, e.converged, e.seconds
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"service\": {{");
+    let _ = writeln!(json, "    \"n\": {n_svc},");
+    let _ = writeln!(
+        json,
+        "    \"setup_seconds_miss\": {:.9},",
+        miss_factor.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"total_seconds_miss\": {:.9},",
+        miss_total.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"mean_seconds_hit\": {:.9},",
+        hit_total.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"setup_amortized\": {}",
+        hit_factor_max == Duration::ZERO
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_sparse.json");
+    println!("# wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        if !bitwise_ok {
+            eprintln!("# check FAILED: parallel spmv is not bitwise identical to serial");
+            failed = true;
+        }
+        if let Some(e) = cg_entries.iter().find(|e| !e.converged) {
+            eprintln!(
+                "# check FAILED: cg with precond={} did not converge in {} iters",
+                e.precond, e.iterations
+            );
+            failed = true;
+        }
+        let iters = |p: &str| {
+            cg_entries
+                .iter()
+                .find(|e| e.precond == p)
+                .unwrap()
+                .iterations
+        };
+        if iters("symgs") >= iters("none") {
+            eprintln!(
+                "# check FAILED: symgs ({}) should beat unpreconditioned cg ({}) on the Laplacian",
+                iters("symgs"),
+                iters("none")
+            );
+            failed = true;
+        }
+        if miss_factor == Duration::ZERO {
+            eprintln!("# check FAILED: the setup miss measured no factor_time");
+            failed = true;
+        }
+        if hit_factor_max != Duration::ZERO {
+            eprintln!(
+                "# check FAILED: a warm solve re-paid setup ({:.1} µs)",
+                hit_factor_max.as_secs_f64() * 1e6
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "# check OK: spmv bitwise, cg converges (symgs {} < none {} iters), \
+             setup amortized ({:.1} µs paid once)",
+            iters("symgs"),
+            iters("none"),
+            miss_factor.as_secs_f64() * 1e6
+        );
+    }
+}
+
+/// Measured STREAM-triad bandwidth (read two streams, write one).
+fn stream_triad_gbs(len: usize, reps: usize) -> f64 {
+    let b = vec![1.0f64; len];
+    let c = vec![2.0f64; len];
+    let mut a = vec![0.0f64; len];
+    let s = 3.0f64;
+    let t = best_of(reps, || {
+        for i in 0..len {
+            a[i] = b[i] + s * c[i];
+        }
+        std::hint::black_box(&a);
+    });
+    (3 * len * std::mem::size_of::<f64>()) as f64 / t / 1e9
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn push_spmv(
+    entries: &mut Vec<SpmvEntry>,
+    pattern: &'static str,
+    n: usize,
+    nnz: usize,
+    threads: usize,
+    t: f64,
+    bytes: f64,
+) {
+    let gbs = bytes / t / 1e9;
+    println!(
+        "{pattern:>10}  n={n:<8} nnz={nnz:<9} threads={threads:<2} {t:>9.6} s  {gbs:>7.2} GB/s"
+    );
+    entries.push(SpmvEntry {
+        pattern,
+        n,
+        nnz,
+        threads,
+        seconds: t,
+        gbs,
+    });
+}

@@ -84,8 +84,11 @@ pub struct RequestStats {
     pub refine_history: Vec<f64>,
     /// Was the factorization routed through `conflux::factorize_threaded`?
     pub distributed_factor: bool,
-    /// Which factorization kernel backed the solve (`"lu"`/`"cholesky"`).
+    /// Which kernel backed the solve (`"lu"`/`"cholesky"`/`"cg"`).
     pub kernel: &'static str,
+    /// Conjugate-gradient iterations spent on this request, summed over
+    /// its RHS columns (0 on the dense direct paths).
+    pub cg_iterations: u64,
     /// Which cluster shard executed the solve (`None` on the single-node
     /// service).
     pub shard: Option<usize>,
@@ -142,6 +145,13 @@ pub enum SolveError {
     Singular {
         /// First column with no usable pivot.
         column: usize,
+    },
+    /// A sparse CG solve found the operator not positive definite
+    /// (`pᵀAp ≤ 0`). Definitive: CG cannot solve this system, retrying
+    /// will fail identically.
+    IndefiniteMatrix {
+        /// CG iteration at which definiteness was lost.
+        iteration: usize,
     },
     /// Even after iterative refinement the residual missed the requested
     /// tolerance. The partial result is discarded: no silent wrong
@@ -212,6 +222,9 @@ impl fmt::Display for SolveError {
             SolveError::Singular { column } => {
                 write!(f, "matrix is singular at column {column}")
             }
+            SolveError::IndefiniteMatrix { iteration } => {
+                write!(f, "matrix is not positive definite (detected at CG iteration {iteration})")
+            }
             SolveError::ToleranceNotMet {
                 achieved,
                 requested,
@@ -270,6 +283,10 @@ mod tests {
             ),
             (SolveError::Singular { column: 3 }, "column 3"),
             (
+                SolveError::IndefiniteMatrix { iteration: 2 },
+                "CG iteration 2",
+            ),
+            (
                 SolveError::ToleranceNotMet {
                     achieved: 1e-3,
                     requested: 1e-12,
@@ -296,6 +313,7 @@ mod tests {
         assert!(SolveError::NoLiveReplica { live: 0, shards: 2 }.is_retryable());
         assert!(!SolveError::ShuttingDown.is_retryable());
         assert!(!SolveError::Singular { column: 0 }.is_retryable());
+        assert!(!SolveError::IndefiniteMatrix { iteration: 0 }.is_retryable());
         assert!(!SolveError::UnknownMatrix { matrix_id: 9 }.is_retryable());
     }
 }

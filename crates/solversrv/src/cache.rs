@@ -9,10 +9,12 @@
 //! [`crate::ServiceStats`] snapshot.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use denselin::lu::LuFactorization;
 use denselin::trsm::{trsm_lower_left, trsm_upper_left};
 use denselin::Matrix;
+use sparselin::PrecondSetup;
 
 use crate::fingerprint::Fingerprint;
 
@@ -30,6 +32,18 @@ pub enum CachedFactor {
         /// `Lᵀ`, precomputed for the backward substitution.
         lt: Matrix,
     },
+    /// Prepared preconditioner for a sparse CG solve — the sparse analogue
+    /// of a dense factor: setup (level schedules, extracted triangles /
+    /// diagonal) is the expensive pattern-dependent phase, and caching it
+    /// lets repeat solves skip straight to the iteration. `Arc`-shared
+    /// because unlike the dense factors it is applied read-only, so cache
+    /// lookups clone a pointer, not the payload.
+    Sparse {
+        /// The cached setup.
+        setup: Arc<PrecondSetup>,
+        /// Order of the system the setup belongs to.
+        n: usize,
+    },
 }
 
 impl CachedFactor {
@@ -41,6 +55,7 @@ impl CachedFactor {
                     + f.perm.len() * std::mem::size_of::<usize>()
             }
             CachedFactor::Cholesky { l, lt } => (l.len() + lt.len()) * std::mem::size_of::<f64>(),
+            CachedFactor::Sparse { setup, .. } => setup.bytes(),
         }
     }
 
@@ -49,6 +64,7 @@ impl CachedFactor {
         match self {
             CachedFactor::Lu(f) => f.perm.len(),
             CachedFactor::Cholesky { l, .. } => l.rows(),
+            CachedFactor::Sparse { n, .. } => *n,
         }
     }
 
@@ -57,6 +73,7 @@ impl CachedFactor {
         match self {
             CachedFactor::Lu(_) => "lu",
             CachedFactor::Cholesky { .. } => "cholesky",
+            CachedFactor::Sparse { .. } => "cg",
         }
     }
 
@@ -65,7 +82,15 @@ impl CachedFactor {
     pub fn as_lu(&self) -> Option<&LuFactorization> {
         match self {
             CachedFactor::Lu(f) => Some(f),
-            CachedFactor::Cholesky { .. } => None,
+            CachedFactor::Cholesky { .. } | CachedFactor::Sparse { .. } => None,
+        }
+    }
+
+    /// The cached preconditioner setup, if this is a sparse entry.
+    pub fn as_sparse(&self) -> Option<&Arc<PrecondSetup>> {
+        match self {
+            CachedFactor::Sparse { setup, .. } => Some(setup),
+            _ => None,
         }
     }
 
@@ -82,6 +107,12 @@ impl CachedFactor {
                 out.as_mut_slice().copy_from_slice(b.as_slice());
                 trsm_lower_left(l, out, false);
                 trsm_upper_left(lt, out, false);
+            }
+            // a preconditioner setup is not a factor of A: solving needs the
+            // matrix itself (the CG iteration), which lives on the request —
+            // workers route Sparse batches through the CG path instead
+            CachedFactor::Sparse { .. } => {
+                unreachable!("sparse entries solve through the CG path, not solve_into")
             }
         }
     }

@@ -950,6 +950,7 @@ fn run_batch(
             refine_history: Vec::new(),
             distributed_factor: distributed,
             kernel: factor.kernel(),
+            cg_iterations: 0,
             shard: Some(sid),
             failovers: p.failovers,
             fingerprint: Some(p.fp),

@@ -13,6 +13,7 @@ use conflux::{factorize_threaded, ConfluxConfig};
 use denselin::gemm::{auto_threads, gemm_auto};
 use denselin::lu::SingularMatrix;
 use denselin::{cholesky_blocked, lu_blocked, lu_parallel_with, solve_refined, Matrix};
+use sparselin::{cg, CgConfig, CgOutcome, CsrMatrix, PrecondSetup, Preconditioner, SparseError};
 
 use crate::api::{MatrixKind, SolveError, SolveResponse};
 use crate::cache::CachedFactor;
@@ -26,6 +27,25 @@ pub(crate) struct Registered {
     pub(crate) matrix: Arc<Matrix>,
     pub(crate) kind: MatrixKind,
     pub(crate) fp: Fingerprint,
+}
+
+/// One registered sparse system: the CSR matrix, the preconditioner its
+/// solves will use, and the fingerprint keying its cached setup (contents
+/// + preconditioner tag, see [`Fingerprint::with_tag`]).
+#[derive(Clone)]
+pub(crate) struct SparseRegistered {
+    pub(crate) matrix: Arc<CsrMatrix>,
+    pub(crate) precond: Preconditioner,
+    pub(crate) fp: Fingerprint,
+}
+
+/// Either kind of registered operand. The cluster only replicates dense
+/// factors, so it keeps using [`Registered`] directly; the single-node
+/// service serves both families through one queue.
+#[derive(Clone)]
+pub(crate) enum AnyRegistered {
+    Dense(Registered),
+    Sparse(SparseRegistered),
 }
 
 /// The rendezvous cell a ticket waits on: a worker delivers exactly one
@@ -200,4 +220,126 @@ pub(crate) fn refine_solution(
             sweeps: history.len() - 1,
         })
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse (CG) execution
+// ---------------------------------------------------------------------------
+
+/// Translate a sparse kernel failure into the service vocabulary.
+pub(crate) fn map_sparse_error(e: SparseError) -> SolveError {
+    match e {
+        SparseError::ZeroDiagonal { row } => SolveError::Singular { column: row },
+        SparseError::NotPositiveDefinite { iteration } => {
+            SolveError::IndefiniteMatrix { iteration }
+        }
+        SparseError::NotConverged {
+            iterations,
+            residual,
+        } => SolveError::ToleranceNotMet {
+            achieved: residual,
+            requested: 0.0,
+            sweeps: iterations,
+        },
+        // structural errors the registration path already screens for;
+        // surface the dimensions if one slips through
+        SparseError::DimensionMismatch { expected, got } => SolveError::ShapeMismatch {
+            matrix_rows: expected,
+            rhs_rows: got,
+        },
+        SparseError::OutOfBounds { col, .. } | SparseError::NotTriangular { col, .. } => {
+            SolveError::Singular { column: col }
+        }
+    }
+}
+
+/// Run the preconditioner setup for a registered sparse system — the
+/// sparse analogue of [`factor_matrix`]: the expensive, cacheable phase.
+pub(crate) fn prepare_sparse(
+    a: &CsrMatrix,
+    precond: Preconditioner,
+) -> Result<Factored, SolveError> {
+    let setup = PrecondSetup::prepare(precond, a).map_err(map_sparse_error)?;
+    Ok(Factored {
+        factor: CachedFactor::Sparse {
+            setup: Arc::new(setup),
+            n: a.rows(),
+        },
+        distributed: false,
+        spd_fallback: false,
+    })
+}
+
+/// Solve one member's multi-column RHS by CG, column by column, with
+/// relaxed-tolerance degradation: a column whose *true* residual
+/// `‖b − A·x‖₂/‖b‖₂` (recomputed by SpMV — CG's recursive residual drifts
+/// below machine precision and cannot be trusted for acceptance) misses
+/// `tolerance` is still accepted — flagged as degraded — if it is within
+/// `relax × tolerance`; beyond that the member fails with
+/// [`SolveError::ToleranceNotMet`] (no silent wrong answers).
+///
+/// Returns `(x, residual, degraded, history, iterations)` where `residual`
+/// is the worst per-column true relative residual and `history` is the CG
+/// residual trajectory of the worst column (the sparse counterpart of the
+/// dense refinement history).
+#[allow(clippy::type_complexity)]
+pub(crate) fn solve_sparse_member(
+    a: &CsrMatrix,
+    setup: &PrecondSetup,
+    rhs: &Matrix,
+    tolerance: f64,
+    relax: f64,
+) -> Result<(Matrix, f64, bool, Vec<f64>, u64), SolveError> {
+    let n = a.rows();
+    let k = rhs.cols();
+    let cfg = CgConfig {
+        tol: tolerance,
+        max_iters: 0, // n iterations: the exact-arithmetic CG bound
+        threads: 0,   // auto: CG parallelism is bitwise thread-count independent
+        record_iterates: false,
+    };
+    let mut x = Matrix::zeros(n, k);
+    let mut worst = 0.0f64;
+    let mut worst_history: Vec<f64> = Vec::new();
+    let mut degraded = false;
+    let mut iterations = 0u64;
+    let mut col = vec![0.0f64; n];
+    let mut ax = vec![0.0f64; n];
+    for j in 0..k {
+        for i in 0..n {
+            col[i] = rhs[(i, j)];
+        }
+        let out: CgOutcome = cg(a, &col, setup, &cfg).map_err(map_sparse_error)?;
+        iterations += out.iterations as u64;
+        // judge acceptance on the recomputed true residual, same as the
+        // dense path's batch GEMM check
+        sparselin::spmv_parallel(a, &out.x, &mut ax, 0).map_err(map_sparse_error)?;
+        let mut rr = 0.0f64;
+        let mut bb = 0.0f64;
+        for i in 0..n {
+            let d = col[i] - ax[i];
+            rr += d * d;
+            bb += col[i] * col[i];
+        }
+        let res = if bb == 0.0 { 0.0 } else { (rr / bb).sqrt() };
+        if res > tolerance {
+            if res <= relax * tolerance {
+                degraded = true;
+            } else {
+                return Err(SolveError::ToleranceNotMet {
+                    achieved: res,
+                    requested: tolerance,
+                    sweeps: out.iterations,
+                });
+            }
+        }
+        if res >= worst {
+            worst = res;
+            worst_history = out.residual_history.clone();
+        }
+        for i in 0..n {
+            x[(i, j)] = out.x[i];
+        }
+    }
+    Ok((x, worst, degraded, worst_history, iterations))
 }

@@ -8,9 +8,14 @@
 //! — deduplication for free.
 
 use denselin::Matrix;
+use sparselin::CsrMatrix;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Domain tag mixed into sparse fingerprints so a CSR matrix and a dense
+/// matrix with the same dimensions and value stream can never collide.
+const SPARSE_TAG: u64 = 0x5350_4152_5345_4353; // "SPARSECS"
 
 /// Identity of a matrix by shape and content.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +49,53 @@ impl Fingerprint {
             cols: m.cols() as u64,
             hash,
         }
+    }
+
+    /// Fingerprint a sparse CSR matrix: dimensions, the full sparsity
+    /// pattern (`row_ptr` + `col_idx`) *and* the value bit patterns, under
+    /// a domain tag separating the sparse stream from [`Fingerprint::of`].
+    /// Same-pattern matrices with different values get different prints —
+    /// the cached preconditioner setup depends on values too (diagonal,
+    /// triangle entries), not just structure.
+    pub fn of_csr(a: &CsrMatrix) -> Self {
+        let mut hash = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(SPARSE_TAG);
+        mix(a.rows() as u64);
+        mix(a.cols() as u64);
+        for &p in a.row_ptr() {
+            mix(p as u64);
+        }
+        for &j in a.col_idx() {
+            mix(j as u64);
+        }
+        for &v in a.values() {
+            mix(v.to_bits());
+        }
+        Fingerprint {
+            rows: a.rows() as u64,
+            cols: a.cols() as u64,
+            hash,
+        }
+    }
+
+    /// Derive a fingerprint with `tag` folded into the hash. The sparse
+    /// registration path uses this to key the cache by *(matrix contents,
+    /// preconditioner)* — the cached object is the preconditioner setup, so
+    /// the same matrix registered under Jacobi and SymGS must occupy two
+    /// distinct cache entries.
+    pub fn with_tag(self, tag: u64) -> Self {
+        let mut hash = self.hash;
+        for byte in tag.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        Fingerprint { hash, ..self }
     }
 }
 

@@ -10,14 +10,22 @@
 //! * [`api`] — typed requests ([`SolveRequest`]), responses
 //!   ([`SolveResponse`]) and errors ([`SolveError`]),
 //! * [`fingerprint`] — content-addressed matrix identity (dims + FNV-1a
-//!   over the element bit patterns),
-//! * [`cache`] — a byte-budgeted LRU of [`denselin::LuFactorization`]s
-//!   (and Cholesky factors for SPD-tagged matrices),
+//!   over the element bit patterns; sparse matrices hash their CSR
+//!   pattern *and* values under a domain tag),
+//! * [`cache`] — a byte-budgeted LRU of [`denselin::LuFactorization`]s,
+//!   Cholesky factors for SPD-tagged matrices, and prepared sparse
+//!   preconditioner setups ([`sparselin::PrecondSetup`]) — the cacheable
+//!   phase of a CG solve,
 //! * [`service`] — the worker pool: bounded submission queue, admission
 //!   control (`Err(Overloaded)` fast-fail), per-request deadlines, and
 //!   **RHS batching** — concurrent solves against the same cached factor
 //!   coalesce into one multi-RHS blocked-`trsm` pass so the factor is
-//!   streamed from memory once instead of once per request,
+//!   streamed from memory once instead of once per request. Sparse SPD
+//!   systems register via [`service::SolverHandle::register_sparse`] and
+//!   solve by preconditioned CG through the same queue, cache, deadline
+//!   and batching machinery; their degradation path relaxes the CG
+//!   tolerance ([`ServiceConfig::sparse_relax`]) instead of running
+//!   refinement sweeps,
 //! * [`stats`] — [`ServiceStats`] latency/throughput/cache snapshots,
 //! * [`client`] — jittered retry/backoff submission helpers reusing
 //!   [`simnet::RetryPolicy`], generic over single-node and cluster
@@ -67,4 +75,5 @@ pub use cluster::{
 };
 pub use fingerprint::Fingerprint;
 pub use service::{serve, DistributedConfig, ServiceConfig, ServiceReport, SolverHandle, Ticket};
+pub use sparselin::{CsrMatrix, Preconditioner};
 pub use stats::{ClusterStats, ServiceStats, ShardSnapshot};

@@ -26,10 +26,11 @@ use conflux::LuGrid;
 use denselin::gemm::gemm_auto;
 use denselin::Matrix;
 use simnet::{AlphaBeta, ClockDomain, Event, RankTracer, Trace};
+use sparselin::{CsrMatrix, Preconditioner};
 
 use crate::api::{MatrixKind, RequestStats, SolveError, SolveRequest, SolveResponse};
 use crate::cache::{CachedFactor, FactorCache};
-use crate::exec::{self, Registered, Slot};
+use crate::exec::{self, AnyRegistered, Registered, Slot, SparseRegistered};
 use crate::fingerprint::Fingerprint;
 use crate::stats::{Collector, ServiceStats};
 
@@ -72,6 +73,12 @@ pub struct ServiceConfig {
     pub trace: bool,
     /// Optional distributed backend for cold large factorizations.
     pub distributed: Option<DistributedConfig>,
+    /// Degradation margin for sparse CG solves: a run that misses the
+    /// requested tolerance within its iteration budget is still accepted —
+    /// flagged `refined` in [`RequestStats`] — if its residual is within
+    /// `sparse_relax ×` the request tolerance. `1.0` disables relaxation.
+    /// The sparse analogue of the dense path's refinement degradation.
+    pub sparse_relax: f64,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +93,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             trace: false,
             distributed: None,
+            sparse_relax: 1e4,
         }
     }
 }
@@ -107,8 +115,10 @@ pub struct ServiceReport {
 
 struct Pending {
     fp: Fingerprint,
-    matrix: Arc<Matrix>,
-    kind: MatrixKind,
+    /// The registered operand (dense matrix + kind, or CSR matrix +
+    /// preconditioner) this request solves against. Both families share
+    /// the queue, the admission path, deadlines, coalescing and the cache.
+    op: AnyRegistered,
     rhs: Matrix,
     tolerance: f64,
     deadline: Option<Duration>,
@@ -136,7 +146,7 @@ impl Ticket {
 
 struct State {
     queue: VecDeque<Pending>,
-    registry: HashMap<u64, Registered>,
+    registry: HashMap<u64, AnyRegistered>,
     cache: FactorCache,
     /// Fingerprints some worker is currently factoring (single-flight).
     factoring: HashSet<Fingerprint>,
@@ -167,13 +177,46 @@ impl SolverHandle {
         let mut st = self.shared.state.lock().unwrap();
         st.registry.insert(
             matrix_id,
-            Registered {
+            AnyRegistered::Dense(Registered {
                 matrix: Arc::new(matrix),
                 kind,
                 fp,
-            },
+            }),
         );
         fp
+    }
+
+    /// Register (or replace) a sparse SPD system under `matrix_id`. Its
+    /// solves run preconditioned CG; the cached artifact is the
+    /// *preconditioner setup* (level schedules, triangles, diagonal), keyed
+    /// by content fingerprint + preconditioner so repeat solves skip the
+    /// analysis phase — the sparse analogue of reusing a dense factor.
+    /// Errors with [`SolveError::ShapeMismatch`] on a non-square matrix.
+    pub fn register_sparse(
+        &self,
+        matrix_id: u64,
+        matrix: CsrMatrix,
+        precond: Preconditioner,
+    ) -> Result<Fingerprint, SolveError> {
+        if matrix.rows() != matrix.cols() {
+            return Err(SolveError::ShapeMismatch {
+                matrix_rows: matrix.rows(),
+                rhs_rows: matrix.cols(),
+            });
+        }
+        // hash outside the lock, tagging with the preconditioner: the same
+        // matrix under Jacobi and SymGS caches two distinct setups
+        let fp = Fingerprint::of_csr(&matrix).with_tag(precond as u64);
+        let mut st = self.shared.state.lock().unwrap();
+        st.registry.insert(
+            matrix_id,
+            AnyRegistered::Sparse(SparseRegistered {
+                matrix: Arc::new(matrix),
+                precond,
+                fp,
+            }),
+        );
+        Ok(fp)
     }
 
     /// Submit a request. Fails fast — never blocks on a full queue.
@@ -191,9 +234,13 @@ impl SolverHandle {
                     })
                 }
             };
-            if reg.matrix.rows() != req.rhs.rows() {
+            let (rows, fp) = match &reg {
+                AnyRegistered::Dense(r) => (r.matrix.rows(), r.fp),
+                AnyRegistered::Sparse(r) => (r.matrix.rows(), r.fp),
+            };
+            if rows != req.rhs.rows() {
                 return Err(SolveError::ShapeMismatch {
-                    matrix_rows: reg.matrix.rows(),
+                    matrix_rows: rows,
                     rhs_rows: req.rhs.rows(),
                 });
             }
@@ -206,9 +253,8 @@ impl SolverHandle {
             st.collector.submitted += 1;
             let slot = Arc::new(Slot::default());
             st.queue.push_back(Pending {
-                fp: reg.fp,
-                matrix: reg.matrix,
-                kind: reg.kind,
+                fp,
+                op: reg,
                 rhs: req.rhs,
                 tolerance: req.tolerance,
                 deadline: req.deadline.or(self.shared.cfg.default_deadline),
@@ -380,12 +426,15 @@ fn worker_loop(shared: &Shared, tracer: &mut RankTracer) {
 
                 let t0 = tracer.begin();
                 let start = Instant::now();
-                let outcome = exec::factor_matrix(
-                    shared.cfg.panel,
-                    shared.cfg.distributed,
-                    &lead.matrix,
-                    lead.kind,
-                );
+                let outcome = match &lead.op {
+                    AnyRegistered::Dense(reg) => exec::factor_matrix(
+                        shared.cfg.panel,
+                        shared.cfg.distributed,
+                        &reg.matrix,
+                        reg.kind,
+                    ),
+                    AnyRegistered::Sparse(reg) => exec::prepare_sparse(&reg.matrix, reg.precond),
+                };
                 let factor_time = start.elapsed();
 
                 let mut st = shared.state.lock().unwrap();
@@ -512,7 +561,37 @@ fn solve_batch(
         return;
     }
 
-    let a = Arc::clone(&active[0].pending.matrix);
+    // one fingerprint per batch, so the first member names the operand for
+    // everyone; sparse batches route through the CG path (the "factor" is a
+    // preconditioner setup, not something solve_into can use)
+    match &active[0].pending.op {
+        AnyRegistered::Sparse(reg) => {
+            let a = Arc::clone(&reg.matrix);
+            let setup = Arc::clone(
+                factor
+                    .as_sparse()
+                    .expect("sparse request coalesced with a dense factor"),
+            );
+            solve_sparse_batch(shared, tracer, &a, &setup, active, factor_time);
+        }
+        AnyRegistered::Dense(reg) => {
+            let a = Arc::clone(&reg.matrix);
+            solve_dense_batch(shared, tracer, factor, &a, active, factor_time, distributed);
+        }
+    }
+}
+
+/// The dense half of [`solve_batch`]: stack, one multi-RHS direct solve,
+/// one batch residual GEMM, per-member refinement degradation.
+fn solve_dense_batch(
+    shared: &Shared,
+    tracer: &mut RankTracer,
+    factor: &CachedFactor,
+    a: &Arc<Matrix>,
+    active: Vec<BatchMember>,
+    factor_time: Duration,
+    distributed: bool,
+) {
     let n = a.rows();
     let batch_size = active.len();
     let k_total: usize = active.iter().map(|m| m.pending.rhs.cols()).sum();
@@ -530,7 +609,7 @@ fn solve_batch(
     factor.solve_into(&big, &mut x);
     // one residual GEMM for the whole batch: r = b - A·x
     let mut r = big;
-    gemm_auto(&mut r, -1.0, &a, &x, 1.0);
+    gemm_auto(&mut r, -1.0, a, &x, 1.0);
     let solve_time = solve_start.elapsed();
     tracer.push_compute("svc:solve", factor.kernel(), t0);
 
@@ -555,6 +634,7 @@ fn solve_batch(
             refine_history: Vec::new(),
             distributed_factor: distributed,
             kernel: factor.kernel(),
+            cg_iterations: 0,
             shard: None,
             failovers: 0,
             fingerprint: Some(p.fp),
@@ -571,7 +651,7 @@ fn solve_batch(
             let refine_start = Instant::now();
             let outcome = exec::refine_solution(
                 factor,
-                &a,
+                a,
                 &p.rhs,
                 p.tolerance,
                 shared.cfg.refine_sweeps,
@@ -598,7 +678,80 @@ fn solve_batch(
         off += k;
     }
 
-    // account, then deliver outside the lock
+    account_and_deliver(shared, batch_size, refined_count, outcomes);
+}
+
+/// The sparse half of [`solve_batch`]: every member solves by CG against
+/// the shared matrix and cached preconditioner setup, column by column,
+/// with relaxed-tolerance degradation instead of refinement sweeps.
+fn solve_sparse_batch(
+    shared: &Shared,
+    tracer: &mut RankTracer,
+    a: &Arc<CsrMatrix>,
+    setup: &Arc<sparselin::PrecondSetup>,
+    active: Vec<BatchMember>,
+    factor_time: Duration,
+) {
+    let batch_size = active.len();
+    let t0 = tracer.begin();
+    let solve_start = Instant::now();
+    let mut solved = Vec::with_capacity(batch_size);
+    for member in &active {
+        let p = &member.pending;
+        solved.push(exec::solve_sparse_member(
+            a,
+            setup,
+            &p.rhs,
+            p.tolerance,
+            shared.cfg.sparse_relax,
+        ));
+    }
+    let solve_time = solve_start.elapsed();
+    tracer.push_compute("svc:solve", "cg", t0);
+
+    let mut outcomes: Vec<(Arc<Slot>, Result<SolveResponse, SolveError>, Duration)> =
+        Vec::with_capacity(batch_size);
+    let mut refined_count = 0u64;
+    for (member, solved) in active.iter().zip(solved) {
+        let p = &member.pending;
+        let result = solved.map(|(x, residual, degraded, history, iterations)| {
+            if degraded {
+                refined_count += 1;
+            }
+            SolveResponse {
+                x,
+                residual,
+                stats: RequestStats {
+                    queue_wait: member.queue_wait,
+                    factor_time,
+                    solve_time,
+                    refine_time: Duration::ZERO,
+                    cache_hit: member.cache_hit,
+                    batch_size,
+                    refined: degraded,
+                    refine_history: if degraded { history } else { Vec::new() },
+                    distributed_factor: false,
+                    kernel: "cg",
+                    cg_iterations: iterations,
+                    shard: None,
+                    failovers: 0,
+                    fingerprint: Some(p.fp),
+                },
+            }
+        });
+        outcomes.push((Arc::clone(&p.slot), result, p.enqueued.elapsed()));
+    }
+    account_and_deliver(shared, batch_size, refined_count, outcomes);
+}
+
+/// Shared tail of both batch paths: record batch/refinement/latency
+/// counters under the lock, then deliver every response outside it.
+fn account_and_deliver(
+    shared: &Shared,
+    batch_size: usize,
+    refined_count: u64,
+    outcomes: Vec<(Arc<Slot>, Result<SolveResponse, SolveError>, Duration)>,
+) {
     {
         let mut st = shared.state.lock().unwrap();
         st.collector.record_batch(batch_size);

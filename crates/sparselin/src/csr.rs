@@ -1,0 +1,642 @@
+//! Compressed-sparse-row storage and deterministic seeded generators.
+//!
+//! [`CsrMatrix`] is the one storage format every kernel in this crate
+//! consumes: `row_ptr`/`col_idx`/`vals` with the column indices of each row
+//! sorted ascending and deduplicated. Sorted rows are load-bearing, not
+//! cosmetic — serial and parallel SpMV accumulate each row in the identical
+//! index order, which is what makes the parallel path bitwise reproducible
+//! at any thread count (see [`crate::spmv`]).
+//!
+//! The generators mirror the verifier's dense [`MatrixClass`] philosophy:
+//! every pattern derives from one `u64` through an in-crate SplitMix64
+//! stream, so a corpus seed reproduces the identical matrix bits on every
+//! toolchain (no `rand` dependency).
+
+use denselin::Matrix;
+
+use crate::error::SparseError;
+
+/// A sparse `rows × cols` matrix in CSR form with sorted, deduplicated
+/// column indices per row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR arrays. Validates monotone `row_ptr`, in-bounds
+    /// and strictly ascending column indices per row.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 || col_idx.len() != vals.len() {
+            return Err(SparseError::DimensionMismatch {
+                expected: rows + 1,
+                got: row_ptr.len(),
+            });
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::DimensionMismatch {
+                expected: col_idx.len(),
+                got: *row_ptr.last().unwrap(),
+            });
+        }
+        for i in 0..rows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(SparseError::DimensionMismatch {
+                    expected: row_ptr[i],
+                    got: row_ptr[i + 1],
+                });
+            }
+            let idx = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for (k, &j) in idx.iter().enumerate() {
+                if j >= cols {
+                    return Err(SparseError::OutOfBounds {
+                        row: i,
+                        col: j,
+                        shape: (rows, cols),
+                    });
+                }
+                if k > 0 && idx[k - 1] >= j {
+                    return Err(SparseError::OutOfBounds {
+                        row: i,
+                        col: j,
+                        shape: (rows, cols),
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Build from `(row, col, value)` triplets in any order. Duplicate
+    /// coordinates are summed (the standard assembly convention); entries
+    /// whose sum is exactly `0.0` are kept, so the sparsity *pattern* is
+    /// the union of the inputs and stays deterministic under reordering.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, SparseError> {
+        for &(i, j, _) in triplets {
+            if i >= rows || j >= cols {
+                return Err(SparseError::OutOfBounds {
+                    row: i,
+                    col: j,
+                    shape: (rows, cols),
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(i, j, _)| (i, j));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(sorted.len());
+        for &(i, j, v) in &sorted {
+            if !col_idx.is_empty()
+                && row_ptr[i + 1] == col_idx.len()
+                && row_ptr[i] < col_idx.len()
+                && *col_idx.last().unwrap() == j
+                && row_ptr[i + 1] > row_ptr[i]
+            {
+                // duplicate coordinate: accumulate
+                *vals.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(j);
+                vals.push(v);
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        // fill gaps: rows with no entries inherit the previous prefix sum
+        for i in 1..=rows {
+            if row_ptr[i] < row_ptr[i - 1] {
+                row_ptr[i] = row_ptr[i - 1];
+            }
+        }
+        CsrMatrix::from_raw(rows, cols, row_ptr, col_idx, vals)
+    }
+
+    /// Build from a dense matrix, keeping every entry that is not exactly
+    /// `0.0`.
+    pub fn from_dense(a: &Matrix) -> Self {
+        let (rows, cols) = a.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Densify (for differential checks against the dense kernels; the
+    /// verifier's CG-vs-LU oracle runs on small systems where this is
+    /// cheap).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[(i, self.col_idx[k])] = self.vals[k];
+            }
+        }
+        out
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Stored-entry density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The `rows + 1` row-extent prefix sums.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, sorted ascending within each row.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, parallel to [`CsrMatrix::col_idx`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Row `i` as `(column indices, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.vals[span])
+    }
+
+    /// Resident bytes of the CSR arrays (the footprint the serving cache
+    /// accounts against its byte budget).
+    pub fn bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.vals.len() * std::mem::size_of::<f64>()
+    }
+
+    /// The value at `(i, j)`, `0.0` when not stored. Binary search over the
+    /// sorted row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (idx, vals) = self.row(i);
+        match idx.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The main diagonal. Errors on the first structurally missing or
+    /// exactly zero diagonal entry (square matrices only make sense here).
+    pub fn diagonal(&self) -> Result<Vec<f64>, SparseError> {
+        let n = self.rows.min(self.cols);
+        let mut d = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = self.get(i, i);
+            if v == 0.0 {
+                return Err(SparseError::ZeroDiagonal { row: i });
+            }
+            d.push(v);
+        }
+        Ok(d)
+    }
+
+    /// Is the stored pattern + values exactly symmetric? (Bitwise check —
+    /// the generators build symmetric matrices symmetrically, so SPD inputs
+    /// pass exactly.)
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        (0..self.rows).all(|i| {
+            let (idx, vals) = self.row(i);
+            idx.iter()
+                .zip(vals)
+                .all(|(&j, &v)| self.get(j, i).to_bits() == v.to_bits())
+        })
+    }
+
+    /// The lower triangle *including* the diagonal, as its own CSR matrix
+    /// (the `D + L` operand of SymGS and the SpTRSV factor).
+    pub fn lower_triangle(&self) -> CsrMatrix {
+        self.triangle(true)
+    }
+
+    /// The upper triangle *including* the diagonal.
+    pub fn upper_triangle(&self) -> CsrMatrix {
+        self.triangle(false)
+    }
+
+    fn triangle(&self, lower: bool) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..self.rows {
+            let (idx, v) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                if (lower && j <= i) || (!lower && j >= i) {
+                    col_idx.push(j);
+                    vals.push(v[k]);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Transposed copy (CSC-to-CSR flip; `O(nnz + rows + cols)`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.col_idx {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                let dst = next[j];
+                next[j] += 1;
+                col_idx[dst] = i;
+                vals[dst] = self.vals[k];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generators
+// ---------------------------------------------------------------------------
+
+/// SplitMix64, duplicated from the verifier's in-crate stream on purpose:
+/// `sparselin` sits below `solversrv` in the dependency graph while the
+/// verifier sits above it, and both need the *identical* bits for a given
+/// seed without a shared dependency.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[-1, 1)`.
+    pub fn symmetric(&mut self) -> f64 {
+        2.0 * self.unit() - 1.0
+    }
+}
+
+/// Seeded symmetric banded matrix: half-bandwidth `hb` (so `2·hb + 1`
+/// diagonals), random off-diagonal values in `[-1, 1)`, and a diagonal
+/// made strictly dominant — SPD by Gershgorin, so CG applies directly.
+pub fn banded(n: usize, hb: usize, seed: u64) -> CsrMatrix {
+    let mut r = SplitMix64::new(seed);
+    // generate the strict upper band once, mirror it for exact symmetry
+    let mut upper = vec![Vec::<(usize, f64)>::new(); n];
+    for (i, row) in upper.iter_mut().enumerate() {
+        for j in (i + 1)..n.min(i + hb + 1) {
+            row.push((j, r.symmetric()));
+        }
+    }
+    assemble_symmetric(n, &upper, 1.0)
+}
+
+/// Seeded symmetric random-pattern matrix: each strict-upper entry present
+/// with probability `density`, mirrored for symmetry, diagonal dominant.
+/// `density` is clamped to `(0, 1]`.
+pub fn random_density(n: usize, density: f64, seed: u64) -> CsrMatrix {
+    let density = density.clamp(1e-6, 1.0);
+    let mut r = SplitMix64::new(seed);
+    let mut upper = vec![Vec::<(usize, f64)>::new(); n];
+    for (i, row) in upper.iter_mut().enumerate() {
+        for j in (i + 1)..n {
+            // one draw per candidate keeps the stream aligned regardless of
+            // acceptance, so patterns at different densities share structure
+            let coin = r.unit();
+            let val = r.symmetric();
+            if coin < density {
+                row.push((j, val));
+            }
+        }
+    }
+    assemble_symmetric(n, &upper, 1.0)
+}
+
+/// The 5-point finite-difference Laplacian on an `nx × ny` grid plus
+/// `shift·I`: the canonical SPD model problem (HPCG's operator). With
+/// `shift > 0` the spectrum lives in `[shift, shift + 8]`, which gives the
+/// CG iteration-bound tests an analytic condition-number handle.
+pub fn spd_laplacian(nx: usize, ny: usize, shift: f64) -> CsrMatrix {
+    let n = nx * ny;
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            // neighbors in ascending column order: (y-1), (x-1), self, (x+1), (y+1)
+            if y > 0 {
+                col_idx.push(i - nx);
+                vals.push(-1.0);
+            }
+            if x > 0 {
+                col_idx.push(i - 1);
+                vals.push(-1.0);
+            }
+            col_idx.push(i);
+            vals.push(4.0 + shift);
+            if x + 1 < nx {
+                col_idx.push(i + 1);
+                vals.push(-1.0);
+            }
+            if y + 1 < ny {
+                col_idx.push(i + nx);
+                vals.push(-1.0);
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+    CsrMatrix {
+        rows: n,
+        cols: n,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// Mirror a strict-upper triangle into a full symmetric CSR matrix with a
+/// Gershgorin-dominant diagonal (`row abs-sum + margin`).
+fn assemble_symmetric(n: usize, upper: &[Vec<(usize, f64)>], margin: f64) -> CsrMatrix {
+    // strict lower rows are the transpose of the strict upper ones
+    let mut lower = vec![Vec::<(usize, f64)>::new(); n];
+    for (i, row) in upper.iter().enumerate() {
+        for &(j, v) in row {
+            lower[j].push((i, v));
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let off_sum: f64 = lower[i]
+            .iter()
+            .chain(&upper[i])
+            .map(|&(_, v)| v.abs())
+            .sum();
+        for &(j, v) in &lower[i] {
+            col_idx.push(j);
+            vals.push(v);
+        }
+        col_idx.push(i);
+        vals.push(off_sum + margin);
+        for &(j, v) in &upper[i] {
+            col_idx.push(j);
+            vals.push(v);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix {
+        rows: n,
+        cols: n,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (2, 1, 5.0),
+                (0, 0, 1.0),
+                (2, 1, 2.0),
+                (0, 2, 3.0),
+                (1, 1, 4.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(2, 1), 7.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.row(0).0, &[0, 2]);
+    }
+
+    #[test]
+    fn triplets_reject_out_of_bounds() {
+        let err = CsrMatrix::from_triplets(2, 2, &[(0, 3, 1.0)]).unwrap_err();
+        assert!(matches!(err, SparseError::OutOfBounds { col: 3, .. }));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_fn(4, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i * 5 + j) as f64 + 1.0
+            } else {
+                0.0
+            }
+        });
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.to_dense(), d);
+        assert!(s.density() > 0.0 && s.density() < 1.0);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // column out of bounds
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+        // unsorted row
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // bad prefix sums
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_symmetric() {
+        let a = banded(20, 3, 7);
+        let b = banded(20, 3, 7);
+        assert_eq!(a, b);
+        assert!(a.is_symmetric());
+        let c = random_density(25, 0.2, 9);
+        assert!(c.is_symmetric());
+        assert_eq!(c, random_density(25, 0.2, 9));
+        let l = spd_laplacian(4, 5, 0.5);
+        assert!(l.is_symmetric());
+        assert_eq!(l.rows(), 20);
+        assert_eq!(l.get(0, 0), 4.5);
+        assert_eq!(l.get(0, 1), -1.0);
+        assert_eq!(l.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn generators_are_diagonally_dominant() {
+        for a in [banded(16, 2, 3), random_density(16, 0.3, 4)] {
+            for i in 0..16 {
+                let (idx, vals) = a.row(i);
+                let off: f64 = idx
+                    .iter()
+                    .zip(vals)
+                    .filter(|(&j, _)| j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum();
+                assert!(a.get(i, i) > off, "row {i} not dominant");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = spd_laplacian(3, 3, 1.0);
+        let d = a.diagonal().unwrap();
+        assert!(d.iter().all(|&x| x == 5.0));
+        // a matrix with a structural zero on the diagonal errors
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            b.diagonal(),
+            Err(SparseError::ZeroDiagonal { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn triangles_and_transpose() {
+        let a = spd_laplacian(3, 2, 0.0);
+        let lo = a.lower_triangle();
+        let up = a.upper_triangle();
+        // L + U double-counts the diagonal: check against dense arithmetic
+        let sum = lo.to_dense().add(&up.to_dense());
+        let mut expect = a.to_dense();
+        for i in 0..a.rows() {
+            expect[(i, i)] *= 2.0;
+        }
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(sum[(i, j)], expect[(i, j)]);
+            }
+        }
+        // symmetric matrix: transpose is identical
+        assert_eq!(a.transpose(), a);
+        // and transpose of the lower triangle is the upper one
+        assert_eq!(lo.transpose(), up);
+    }
+
+    #[test]
+    fn bytes_accounts_all_arrays() {
+        let a = spd_laplacian(4, 4, 0.0);
+        let expect = (a.row_ptr().len() + a.col_idx().len()) * std::mem::size_of::<usize>()
+            + std::mem::size_of_val(a.values());
+        assert_eq!(a.bytes(), expect);
+    }
+}

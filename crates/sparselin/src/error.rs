@@ -1,0 +1,135 @@
+//! The sparse family's typed error vocabulary, mirroring the dense side's
+//! [`denselin::lu::SingularMatrix`] / `solversrv::SolveError` split: every
+//! failure a caller can act on is a variant, never a panic or a silently
+//! wrong answer.
+
+use std::fmt;
+
+/// Everything that can go wrong building or driving a sparse kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SparseError {
+    /// A triplet or index referenced a position outside the matrix.
+    OutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// An operand's length does not match the matrix dimension.
+    DimensionMismatch {
+        /// What the kernel needed.
+        expected: usize,
+        /// What it was handed.
+        got: usize,
+    },
+    /// A kernel that divides by the diagonal (SpTRSV, SymGS, Jacobi) found
+    /// a structurally missing or exactly zero diagonal entry.
+    ZeroDiagonal {
+        /// First row with no usable diagonal.
+        row: usize,
+    },
+    /// A triangular kernel was handed a matrix with entries on the wrong
+    /// side of the diagonal.
+    NotTriangular {
+        /// First offending row.
+        row: usize,
+        /// The out-of-triangle column found there.
+        col: usize,
+    },
+    /// CG observed `pᵀ·A·p ≤ 0`: the operator (or preconditioner) is not
+    /// positive definite, so the Krylov recurrence has broken down.
+    NotPositiveDefinite {
+        /// Iteration at which the curvature went non-positive.
+        iteration: usize,
+    },
+    /// CG ran out of its iteration budget above the requested tolerance.
+    /// Carries the best iterate's achieved residual so callers can decide
+    /// whether a relaxed tolerance is acceptable (the serving layer's
+    /// degradation path does exactly that).
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Best relative residual reached.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::OutOfBounds { row, col, shape } => write!(
+                f,
+                "entry ({row}, {col}) outside the {}x{} matrix",
+                shape.0, shape.1
+            ),
+            SparseError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "operand length {got} does not match dimension {expected}"
+                )
+            }
+            SparseError::ZeroDiagonal { row } => {
+                write!(f, "missing or zero diagonal at row {row}")
+            }
+            SparseError::NotTriangular { row, col } => {
+                write!(f, "entry ({row}, {col}) violates the triangular structure")
+            }
+            SparseError::NotPositiveDefinite { iteration } => {
+                write!(f, "non-positive curvature at CG iteration {iteration}")
+            }
+            SparseError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "CG stopped at residual {residual:.3e} after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let cases: Vec<(SparseError, &str)> = vec![
+            (
+                SparseError::OutOfBounds {
+                    row: 3,
+                    col: 9,
+                    shape: (4, 4),
+                },
+                "(3, 9)",
+            ),
+            (
+                SparseError::DimensionMismatch {
+                    expected: 8,
+                    got: 7,
+                },
+                "length 7",
+            ),
+            (SparseError::ZeroDiagonal { row: 2 }, "row 2"),
+            (SparseError::NotTriangular { row: 1, col: 5 }, "(1, 5)"),
+            (
+                SparseError::NotPositiveDefinite { iteration: 4 },
+                "iteration 4",
+            ),
+            (
+                SparseError::NotConverged {
+                    iterations: 100,
+                    residual: 1e-3,
+                },
+                "100 iterations",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

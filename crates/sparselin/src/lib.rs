@@ -1,0 +1,55 @@
+//! `sparselin` — the sparse CSR kernel family beside `denselin`'s dense
+//! one.
+//!
+//! The COnfLUX paper's I/O model is about dense factorization, but the
+//! serving and verification layers built around it in this repo are
+//! kernel-agnostic; this crate adds the second kernel family they host:
+//!
+//! * [`csr`] — [`CsrMatrix`] storage (sorted-column CSR), triplet/dense
+//!   builders, and deterministic seeded generators (banded,
+//!   random-density, SPD 5-point Laplacian),
+//! * [`mod@spmv`] — serial + worker-pool-parallel `y = A·x`, bitwise
+//!   reproducible at any thread count via contiguous nnz-balanced row
+//!   bands,
+//! * [`trsv`] — level-scheduled sparse triangular solve with the analysis
+//!   cached on [`SparseTriangle`],
+//! * [`symgs`] — symmetric Gauss–Seidel sweeps and the
+//!   `(D+L)·D⁻¹·(D+U)` preconditioner built on two cached triangles,
+//! * [`mod@cg`] — preconditioned conjugate gradients with residual
+//!   history and flop/byte accounting,
+//! * [`error`] — the typed [`SparseError`] vocabulary.
+//!
+//! The determinism contract matches the dense crate: every parallel path
+//! produces bits identical to its serial counterpart, so differential
+//! fuzzing can assert equality, not approximation.
+//!
+//! # Example
+//!
+//! Solve a model Poisson problem with SymGS-preconditioned CG:
+//!
+//! ```
+//! use sparselin::{cg, spd_laplacian, CgConfig, PrecondSetup, Preconditioner};
+//!
+//! let a = spd_laplacian(8, 8, 0.1);
+//! let b = vec![1.0; a.rows()];
+//! let pre = PrecondSetup::prepare(Preconditioner::SymGs, &a).unwrap();
+//! let out = cg(&a, &b, &pre, &CgConfig::default()).unwrap();
+//! assert!(out.converged);
+//! assert!(out.residual() <= 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod csr;
+pub mod error;
+pub mod spmv;
+pub mod symgs;
+pub mod trsv;
+
+pub use cg::{cg, CgConfig, CgOutcome, PrecondSetup, Preconditioner, SparseStats};
+pub use csr::{banded, random_density, spd_laplacian, CsrMatrix, SplitMix64};
+pub use error::SparseError;
+pub use spmv::{spmv, spmv_bytes, spmv_flops, spmv_parallel};
+pub use symgs::SymGs;
+pub use trsv::{LevelSchedule, SparseTriangle, TriangleKind};

@@ -54,4 +54,6 @@ pub use invariants::{check_all, default_invariants, Invariant, RunArtifacts, Vio
 pub use oracle::{run_scenario, CheckOutcome, ScenarioReport};
 pub use report::FuzzSummary;
 pub use rng::SplitMix64;
-pub use scenario::{minimize, FaultSpec, Kernel, MatrixClass, Scenario};
+pub use scenario::{
+    minimize, FaultSpec, Kernel, MatrixClass, Scenario, SparsePattern, SparsePrecond,
+};

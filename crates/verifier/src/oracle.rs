@@ -22,6 +22,12 @@
 //! * **Solve** — `solversrv`: a cache-hit solve is bitwise identical to the
 //!   cache-miss solve and to driving the same blocked factorization
 //!   directly; a batched multi-RHS solve matches per-column solves.
+//! * **Sparse** — `sparselin`: parallel SpMV is bitwise identical to the
+//!   serial kernel at every thread count; CG on the seeded SPD pattern
+//!   matches densifying the same matrix and solving by blocked LU; the
+//!   A-norm of the CG error is monotonically non-increasing (the textbook
+//!   optimality property); and the sparse serving path through `solversrv`
+//!   is cache-transparent and bitwise repeatable.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -36,9 +42,14 @@ use denselin::{cholesky_blocked, lu_blocked, lu_parallel_with, LuFactorization, 
 use simnet::{CommStats, FaultPlan, Supervisor, Trace};
 use solversrv::{serve, serve_cluster, ClusterConfig, MatrixKind, ServiceConfig, SolveRequest};
 
+use sparselin::{
+    banded, cg, random_density, spd_laplacian, spmv, spmv_parallel, CgConfig, CsrMatrix,
+    PrecondSetup, Preconditioner,
+};
+
 use crate::invariants::{check_all, default_invariants, Invariant, RunArtifacts};
 use crate::matgen;
-use crate::scenario::{FaultSpec, Kernel, MatrixClass, Scenario};
+use crate::scenario::{FaultSpec, Kernel, MatrixClass, Scenario, SparsePattern, SparsePrecond};
 
 /// A residual above this (or a non-finite one) classifies a factorization
 /// as degenerate rather than merely inaccurate.
@@ -255,6 +266,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioReport {
         Kernel::Lu => run_lu(sc),
         Kernel::Cholesky => run_cholesky(sc),
         Kernel::Solve => run_solve(sc),
+        Kernel::Sparse => run_sparse(sc),
     };
     ScenarioReport {
         scenario: sc.clone(),
@@ -829,6 +841,257 @@ fn run_solve(sc: &Scenario) -> Vec<CheckOutcome> {
             ))
         },
     ));
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Sparse (sparselin + the sparse serving path)
+// ---------------------------------------------------------------------------
+
+/// Instantiate the scenario's sparsity pattern. Every generator is SPD by
+/// construction (Gershgorin-dominant or a shifted Laplacian), so CG applies
+/// and the densified matrix is nonsingular for the LU cross-check.
+fn sparse_matrix(sc: &Scenario) -> CsrMatrix {
+    let n = sc.n();
+    match sc.pattern {
+        SparsePattern::Banded => banded(n, (sc.v / 2).max(1), sc.mseed),
+        SparsePattern::Random => random_density(n, 0.2, sc.mseed),
+        // v × nb grid: n = v·nb matches the scenario order exactly; the
+        // 0.5 shift pins the spectrum to [0.5, 8.5] (condition number ≤ 17)
+        SparsePattern::Laplacian => spd_laplacian(sc.v.max(1), sc.nb.max(1), 0.5),
+    }
+}
+
+fn sparse_precond(p: SparsePrecond) -> Preconditioner {
+    match p {
+        SparsePrecond::None => Preconditioner::None,
+        SparsePrecond::Jacobi => Preconditioner::Jacobi,
+        SparsePrecond::SymGs => Preconditioner::SymGs,
+    }
+}
+
+fn run_sparse(sc: &Scenario) -> Vec<CheckOutcome> {
+    let n = sc.n();
+    let a = sparse_matrix(sc);
+    let precond = sparse_precond(sc.precond);
+    let k = sc.nrhs.max(1);
+    let b = matgen::rhs(n, k, sc.mseed);
+    let mut out = Vec::new();
+
+    // --- serial vs parallel SpMV: bitwise at every thread count -----------
+    // the parallel kernel splits rows into nnz-balanced contiguous bands,
+    // each writing its own disjoint output slice with serial per-row
+    // accumulation — so the contract is exact bit equality, not closeness
+    let mut r = crate::rng::SplitMix64::new(sc.mseed ^ 0x5eed_5eed);
+    let x0: Vec<f64> = (0..n).map(|_| r.symmetric()).collect();
+    let mut y_serial = vec![0.0f64; n];
+    spmv(&a, &x0, &mut y_serial).expect("square by construction");
+    let mut spmv_problems = Vec::new();
+    for threads in [1usize, 2, 3, 5, 8] {
+        let mut y_par = vec![0.0f64; n];
+        spmv_parallel(&a, &x0, &mut y_par, threads).expect("square by construction");
+        let diverged = y_serial
+            .iter()
+            .zip(&y_par)
+            .any(|(s, p)| s.to_bits() != p.to_bits());
+        if diverged {
+            spmv_problems.push(format!("{threads} threads diverge from serial"));
+        }
+    }
+    out.push(CheckOutcome::from(
+        "spmv-parallel-bitwise",
+        if spmv_problems.is_empty() {
+            Ok("bitwise identical at 1..=8 threads".into())
+        } else {
+            Err(spmv_problems.join("; "))
+        },
+    ));
+
+    // --- differential reference: densify and solve by blocked LU ----------
+    let dense = a.to_dense();
+    let panel = sc.v.clamp(1, n);
+    let xstar = match lu_blocked(&dense, panel) {
+        Ok(f) => f.solve(&b),
+        Err(e) => {
+            out.push(CheckOutcome::fail(
+                "sparse-dense-lu",
+                format!("densified SPD-by-construction matrix rejected: {e:?}"),
+            ));
+            return out;
+        }
+    };
+
+    // --- CG vs the dense solution, plus the A-norm optimality property ----
+    let setup = match PrecondSetup::prepare(precond, &a) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(CheckOutcome::fail(
+                "sparse-precond-setup",
+                format!("setup on an SPD pattern failed: {e:?}"),
+            ));
+            return out;
+        }
+    };
+    let mut converge_problems = Vec::new();
+    let mut match_problems = Vec::new();
+    let mut anorm_problems = Vec::new();
+    for j in 0..k {
+        let bcol: Vec<f64> = (0..n).map(|i| b[(i, j)]).collect();
+        let cfg = CgConfig {
+            tol: 1e-11,
+            max_iters: 2 * n, // float CG may need a few sweeps past the exact-arithmetic n
+            threads: 0,
+            record_iterates: true,
+        };
+        let run = match cg(&a, &bcol, &setup, &cfg) {
+            Ok(run) => run,
+            Err(e) => {
+                converge_problems.push(format!("col {j}: CG failed: {e:?}"));
+                continue;
+            }
+        };
+        if !run.converged {
+            converge_problems.push(format!(
+                "col {j}: residual {:.3e} after {} iters",
+                run.residual(),
+                run.iterations
+            ));
+        }
+        // well-conditioned by construction: CG and dense LU must agree to
+        // far better than either's backward-error bound would force
+        let scale = (0..n).map(|i| xstar[(i, j)].abs()).fold(1.0f64, f64::max);
+        let diff = (0..n)
+            .map(|i| (run.x[i] - xstar[(i, j)]).abs())
+            .fold(0.0f64, f64::max);
+        if diff > 1e-7 * scale {
+            match_problems.push(format!("col {j}: max diff {diff:.3e} (scale {scale:.3e})"));
+        }
+        // CG minimizes the A-norm of the error over the growing Krylov
+        // space, so ‖x* − x_k‖_A must never increase; allow roundoff
+        // wiggle at the convergence floor via the additive term
+        let iterates = run.iterates.as_ref().expect("record_iterates was set");
+        let anorm = |x: &[f64]| -> f64 {
+            let e: Vec<f64> = (0..n).map(|i| xstar[(i, j)] - x[i]).collect();
+            let mut ae = vec![0.0f64; n];
+            spmv(&a, &e, &mut ae).expect("square by construction");
+            e.iter()
+                .zip(&ae)
+                .map(|(u, v)| u * v)
+                .sum::<f64>()
+                .max(0.0)
+                .sqrt()
+        };
+        let zero = vec![0.0f64; n];
+        let anorm0 = anorm(&zero);
+        let mut prev = anorm0;
+        for (step, x) in iterates.iter().enumerate() {
+            let cur = anorm(x);
+            if cur > prev * (1.0 + 1e-6) + 1e-12 * anorm0 {
+                anorm_problems.push(format!(
+                    "col {j} step {step}: ‖e‖_A rose {prev:.6e} -> {cur:.6e}"
+                ));
+            }
+            prev = cur;
+        }
+    }
+    out.push(CheckOutcome::from(
+        "sparse-cg-converges",
+        if converge_problems.is_empty() {
+            Ok(format!("{k} column(s) converged"))
+        } else {
+            Err(converge_problems.join("; "))
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "sparse-cg-matches-dense-lu",
+        if match_problems.is_empty() {
+            Ok(String::new())
+        } else {
+            Err(match_problems.join("; "))
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "sparse-cg-anorm-monotone",
+        if anorm_problems.is_empty() {
+            Ok(String::new())
+        } else {
+            Err(anorm_problems.join("; "))
+        },
+    ));
+
+    // --- the sparse serving path: cache-transparent and bitwise -----------
+    let ((fp_used, miss, hit), report) = serve(ServiceConfig::default(), |h| {
+        let fp = h
+            .register_sparse(1, a.clone(), precond)
+            .expect("square by construction");
+        let miss = h
+            .solve(SolveRequest::new(1, b.clone()).with_tolerance(1e-9))
+            .unwrap();
+        let hit = h
+            .solve(SolveRequest::new(1, b.clone()).with_tolerance(1e-9))
+            .unwrap();
+        (fp, miss, hit)
+    });
+    out.push(CheckOutcome::from(
+        "sparse-service-transparent",
+        if !miss.stats.cache_hit
+            && hit.stats.cache_hit
+            && miss.stats.kernel == "cg"
+            && miss.stats.cg_iterations > 0
+            && miss.stats.fingerprint == Some(fp_used)
+            && report.stats.cache_entries >= 1
+            // an unpreconditioned setup legitimately caches zero bytes
+            && (sc.precond == SparsePrecond::None || report.stats.cache_bytes > 0)
+        {
+            Ok(String::new())
+        } else {
+            Err(format!(
+                "miss/hit flags ({}, {}), kernel {}, iters {}, setup bytes {}",
+                miss.stats.cache_hit,
+                hit.stats.cache_hit,
+                miss.stats.kernel,
+                miss.stats.cg_iterations,
+                report.stats.cache_bytes
+            ))
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "sparse-service-bitwise",
+        if miss.x.as_slice() == hit.x.as_slice() {
+            Ok(String::new())
+        } else {
+            Err("setup-cache-hit solution differs from the miss solution".into())
+        },
+    ));
+    out.push(CheckOutcome::from(
+        "sparse-service-residual",
+        if miss.residual <= 1e-9 && hit.residual <= 1e-9 {
+            Ok(format!("residual {:.3e}", miss.residual))
+        } else {
+            Err(format!(
+                "residuals ({:.3e}, {:.3e}) exceed the requested 1e-9",
+                miss.residual, hit.residual
+            ))
+        },
+    ));
+    // the preconditioner is part of the cache identity: the same pattern
+    // and values under a different preconditioner must never alias
+    if sc.precond != SparsePrecond::None {
+        let fp_plain = solversrv::Fingerprint::of_csr(&a);
+        out.push(CheckOutcome::from(
+            "sparse-fingerprint-tags-precond",
+            if fp_used != fp_plain.with_tag(Preconditioner::None as u64)
+                && fp_used == fp_plain.with_tag(precond as u64)
+            {
+                Ok(String::new())
+            } else {
+                Err(format!(
+                    "fingerprint {fp_used:?} does not tag the preconditioner"
+                ))
+            },
+        ));
+    }
 
     out
 }

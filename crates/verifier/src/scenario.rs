@@ -15,6 +15,9 @@ pub enum Kernel {
     Cholesky,
     /// The `solversrv` serving layer vs fresh serial solves.
     Solve,
+    /// The sparse CSR family (`sparselin`): CG vs densified LU, SpMV
+    /// determinism, and the sparse serving path.
+    Sparse,
 }
 
 impl Kernel {
@@ -23,6 +26,54 @@ impl Kernel {
             Kernel::Lu => "lu",
             Kernel::Cholesky => "cholesky",
             Kernel::Solve => "solve",
+            Kernel::Sparse => "sparse",
+        }
+    }
+}
+
+/// Sparsity-pattern family for [`Kernel::Sparse`] scenarios. Each maps to
+/// a seeded SPD generator in `sparselin`, so the differential oracle can
+/// densify the same matrix and cross-check CG against blocked LU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparsePattern {
+    /// Symmetric banded with half-bandwidth derived from the panel width.
+    Banded,
+    /// Symmetric random pattern at a fixed density.
+    Random,
+    /// 5-point finite-difference Laplacian on a `v × nb` grid plus a shift
+    /// (the HPCG model operator, with an analytic condition-number handle).
+    Laplacian,
+}
+
+impl SparsePattern {
+    fn token(self) -> &'static str {
+        match self {
+            SparsePattern::Banded => "banded",
+            SparsePattern::Random => "random",
+            SparsePattern::Laplacian => "laplacian",
+        }
+    }
+}
+
+/// Preconditioner choice for [`Kernel::Sparse`] scenarios (mirrors
+/// `sparselin::Preconditioner`, kept local so the DSL stays
+/// dependency-free and a corpus line never changes meaning).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparsePrecond {
+    /// Unpreconditioned CG.
+    None,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Symmetric Gauss–Seidel.
+    SymGs,
+}
+
+impl SparsePrecond {
+    fn token(self) -> &'static str {
+        match self {
+            SparsePrecond::None => "none",
+            SparsePrecond::Jacobi => "jacobi",
+            SparsePrecond::SymGs => "symgs",
         }
     }
 }
@@ -116,10 +167,14 @@ pub struct Scenario {
     /// Matrix-entry seed (independent of the shape so shrinking keeps the
     /// data stream).
     pub mseed: u64,
-    /// RHS columns ([`Kernel::Solve`] only).
+    /// RHS columns ([`Kernel::Solve`] and [`Kernel::Sparse`] only).
     pub nrhs: usize,
     /// Fault schedule ([`Kernel::Lu`] orchestrated runs only).
     pub faults: FaultSpec,
+    /// Sparsity pattern ([`Kernel::Sparse`] only; `Banded` otherwise).
+    pub pattern: SparsePattern,
+    /// Preconditioner ([`Kernel::Sparse`] only; `None` otherwise).
+    pub precond: SparsePrecond,
 }
 
 impl Scenario {
@@ -151,6 +206,7 @@ impl Scenario {
             Kernel::Lu,
             Kernel::Cholesky,
             Kernel::Solve,
+            Kernel::Sparse,
         ]);
         let class = match kernel {
             Kernel::Lu => *r.choose(&[
@@ -163,8 +219,10 @@ impl Scenario {
                 MatrixClass::RankDef,
                 MatrixClass::Wilkinson,
             ]),
-            // Cholesky needs SPD-able input; the service solves systems
-            Kernel::Cholesky | Kernel::Solve => {
+            // Cholesky needs SPD-able input; the service solves systems;
+            // the sparse generators are SPD by construction (class only
+            // scales the oracle's tolerances there)
+            Kernel::Cholesky | Kernel::Solve | Kernel::Sparse => {
                 *r.choose(&[MatrixClass::Well, MatrixClass::DiagDom, MatrixClass::Ill])
             }
         };
@@ -195,6 +253,26 @@ impl Scenario {
         } else {
             FaultSpec::None
         };
+        let (pattern, precond) = if kernel == Kernel::Sparse {
+            (
+                *r.choose(&[
+                    SparsePattern::Banded,
+                    SparsePattern::Banded,
+                    SparsePattern::Random,
+                    SparsePattern::Laplacian,
+                    SparsePattern::Laplacian,
+                ]),
+                *r.choose(&[
+                    SparsePrecond::None,
+                    SparsePrecond::Jacobi,
+                    SparsePrecond::Jacobi,
+                    SparsePrecond::SymGs,
+                    SparsePrecond::SymGs,
+                ]),
+            )
+        } else {
+            (SparsePattern::Banded, SparsePrecond::None)
+        };
         Scenario {
             kernel,
             v,
@@ -205,12 +283,16 @@ impl Scenario {
             mseed: r.next_u64(),
             nrhs,
             faults,
+            pattern,
+            precond,
         }
     }
 
-    /// Compact one-line `k=v` encoding (the corpus format).
+    /// Compact one-line `k=v` encoding (the corpus format). Sparse
+    /// scenarios append `pattern=`/`precond=`; dense lines keep the
+    /// historical nine-key shape so existing corpus files stay stable.
     pub fn encode(&self) -> String {
-        format!(
+        let mut line = format!(
             "kernel={} n={} v={} q={} c={} class={} mseed={} nrhs={} faults={}",
             self.kernel.token(),
             self.n(),
@@ -221,7 +303,15 @@ impl Scenario {
             self.mseed,
             self.nrhs,
             self.faults.encode(),
-        )
+        );
+        if self.kernel == Kernel::Sparse {
+            line.push_str(&format!(
+                " pattern={} precond={}",
+                self.pattern.token(),
+                self.precond.token()
+            ));
+        }
+        line
     }
 
     /// Parse a line produced by [`Scenario::encode`] (or written by hand).
@@ -235,6 +325,8 @@ impl Scenario {
         let mut mseed = 0u64;
         let mut nrhs = 1usize;
         let mut faults = FaultSpec::None;
+        let mut pattern = SparsePattern::Banded;
+        let mut precond = SparsePrecond::None;
         for tok in line.split_whitespace() {
             let (key, val) = tok
                 .split_once('=')
@@ -245,6 +337,7 @@ impl Scenario {
                         "lu" => Kernel::Lu,
                         "cholesky" => Kernel::Cholesky,
                         "solve" => Kernel::Solve,
+                        "sparse" => Kernel::Sparse,
                         other => return Err(format!("unknown kernel `{other}`")),
                     })
                 }
@@ -266,6 +359,22 @@ impl Scenario {
                 }
                 "mseed" => mseed = val.parse::<u64>().map_err(|e| e.to_string())?,
                 "nrhs" => nrhs = val.parse::<usize>().map_err(|e| e.to_string())?,
+                "pattern" => {
+                    pattern = match val {
+                        "banded" => SparsePattern::Banded,
+                        "random" => SparsePattern::Random,
+                        "laplacian" => SparsePattern::Laplacian,
+                        other => return Err(format!("unknown pattern `{other}`")),
+                    }
+                }
+                "precond" => {
+                    precond = match val {
+                        "none" => SparsePrecond::None,
+                        "jacobi" => SparsePrecond::Jacobi,
+                        "symgs" => SparsePrecond::SymGs,
+                        other => return Err(format!("unknown precond `{other}`")),
+                    }
+                }
                 "faults" => {
                     let parts: Vec<&str> = val.split(':').collect();
                     faults = match parts.as_slice() {
@@ -298,6 +407,8 @@ impl Scenario {
             mseed,
             nrhs,
             faults,
+            pattern,
+            precond,
         };
         sc.validate()?;
         Ok(sc)
@@ -314,6 +425,14 @@ impl Scenario {
         }
         if self.nb < 1 {
             return Err("need at least one block step".into());
+        }
+        if self.kernel != Kernel::Sparse
+            && (self.pattern != SparsePattern::Banded || self.precond != SparsePrecond::None)
+        {
+            return Err(format!(
+                "pattern/precond only apply to kernel=sparse, not {}",
+                self.kernel.token()
+            ));
         }
         if let FaultSpec::Crash { rank, step } = self.faults {
             if rank >= self.ranks() || step >= self.nb {
@@ -384,11 +503,26 @@ impl Scenario {
             });
         }
         // one RHS
-        if self.kernel == Kernel::Solve && self.nrhs > 1 {
+        if matches!(self.kernel, Kernel::Solve | Kernel::Sparse) && self.nrhs > 1 {
             push(Scenario {
                 nrhs: 1,
                 ..self.clone()
             });
+        }
+        // simpler sparse setup: drop the preconditioner, then the pattern
+        if self.kernel == Kernel::Sparse {
+            if self.precond != SparsePrecond::None {
+                push(Scenario {
+                    precond: SparsePrecond::None,
+                    ..self.clone()
+                });
+            }
+            if self.pattern != SparsePattern::Banded {
+                push(Scenario {
+                    pattern: SparsePattern::Banded,
+                    ..self.clone()
+                });
+            }
         }
         out
     }
@@ -464,6 +598,69 @@ mod tests {
         assert!(minimal.n() <= sc.n());
         assert_eq!(minimal.class, MatrixClass::Well);
         assert_eq!(minimal.faults, FaultSpec::None);
+    }
+
+    #[test]
+    fn sparse_scenarios_are_generated_and_roundtrip() {
+        let mut seen_patterns = std::collections::HashSet::new();
+        let mut seen_preconds = std::collections::HashSet::new();
+        let mut sparse_count = 0usize;
+        for seed in 0..2_000u64 {
+            let sc = Scenario::from_seed(seed);
+            if sc.kernel != Kernel::Sparse {
+                // dense scenarios never carry sparse knobs (and keep the
+                // historical nine-key line shape)
+                assert_eq!(sc.pattern, SparsePattern::Banded);
+                assert_eq!(sc.precond, SparsePrecond::None);
+                assert!(!sc.encode().contains("pattern="));
+                continue;
+            }
+            sparse_count += 1;
+            seen_patterns.insert(sc.pattern.token());
+            seen_preconds.insert(sc.precond.token());
+            let line = sc.encode();
+            assert!(line.contains("kernel=sparse"));
+            let back = Scenario::decode(&line).expect("decode sparse");
+            assert_eq!(sc, back, "sparse roundtrip failed for `{line}`");
+        }
+        // the 1/7 kernel weight must actually surface sparse scenarios,
+        // and the sweep must cover every pattern and preconditioner
+        assert!(sparse_count > 100, "only {sparse_count} sparse scenarios");
+        assert_eq!(seen_patterns.len(), 3, "patterns seen: {seen_patterns:?}");
+        assert_eq!(seen_preconds.len(), 3, "preconds seen: {seen_preconds:?}");
+    }
+
+    #[test]
+    fn sparse_decode_accepts_handwritten_lines_and_rejects_misuse() {
+        let sc = Scenario::decode(
+            "kernel=sparse n=24 v=4 q=1 c=1 class=well mseed=7 nrhs=2 faults=none \
+             pattern=laplacian precond=symgs",
+        )
+        .unwrap();
+        assert_eq!(sc.pattern, SparsePattern::Laplacian);
+        assert_eq!(sc.precond, SparsePrecond::SymGs);
+        // omitted knobs default (handy for hand-written corpus lines)
+        let sc = Scenario::decode("kernel=sparse n=8 v=4 q=1 c=1 class=well faults=none").unwrap();
+        assert_eq!(sc.pattern, SparsePattern::Banded);
+        assert_eq!(sc.precond, SparsePrecond::None);
+        // sparse knobs on a dense kernel are a corpus-hygiene error
+        assert!(Scenario::decode("kernel=lu n=8 v=4 q=1 c=1 class=well pattern=random").is_err());
+        assert!(Scenario::decode("kernel=sparse n=8 v=4 q=1 c=1 class=well pattern=nope").is_err());
+    }
+
+    #[test]
+    fn sparse_shrinking_drops_precond_then_pattern() {
+        let sc = Scenario::decode(
+            "kernel=sparse n=32 v=8 q=2 c=2 class=ill mseed=9 nrhs=3 faults=none \
+             pattern=random precond=symgs",
+        )
+        .unwrap();
+        let (minimal, steps) = minimize(&sc, |_| true);
+        assert!(steps > 0);
+        assert_eq!(minimal.precond, SparsePrecond::None);
+        assert_eq!(minimal.pattern, SparsePattern::Banded);
+        assert_eq!(minimal.nrhs, 1);
+        assert_eq!(minimal.class, MatrixClass::Well);
     }
 
     #[test]

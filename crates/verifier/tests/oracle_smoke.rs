@@ -56,6 +56,25 @@ fn cholesky_and_solve_scenarios_pass() {
 }
 
 #[test]
+fn sparse_scenarios_pass() {
+    // one pin per pattern × an interesting preconditioner: the sparse
+    // oracle cross-checks CG against densified blocked LU, SpMV
+    // determinism, A-norm monotonicity, and the sparse serving path
+    assert_passes(
+        "kernel=sparse n=24 v=4 q=1 c=1 class=well mseed=23 nrhs=2 faults=none \
+         pattern=banded precond=jacobi",
+    );
+    assert_passes(
+        "kernel=sparse n=16 v=4 q=1 c=1 class=diagdom mseed=24 nrhs=1 faults=none \
+         pattern=random precond=none",
+    );
+    assert_passes(
+        "kernel=sparse n=32 v=8 q=1 c=1 class=ill mseed=25 nrhs=3 faults=none \
+         pattern=laplacian precond=symgs",
+    );
+}
+
+#[test]
 fn minimize_shrinks_to_the_failing_dimension() {
     // a synthetic predicate failing exactly on c > 1 must shrink away
     // everything else while keeping c > 1

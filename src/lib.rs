@@ -18,4 +18,5 @@ pub use iobound;
 pub use pebbling;
 pub use simnet;
 pub use solversrv;
+pub use sparselin;
 pub use verifier;

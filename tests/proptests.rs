@@ -11,8 +11,13 @@
 
 use conflux_repro::conflux::{factorize, ConfluxConfig, LuGrid};
 use conflux_repro::denselin::blockcyclic::BlockCyclic1D;
+use conflux_repro::denselin::trsm::trsm_lower_left;
 use conflux_repro::denselin::{lu_blocked, lu_unblocked, tournament_pivots, Matrix};
 use conflux_repro::simnet::Network;
+use conflux_repro::sparselin::{
+    banded, cg, random_density, spd_laplacian, spmv, spmv_parallel, CgConfig, CsrMatrix,
+    PrecondSetup, Preconditioner, SparseTriangle,
+};
 use proptest::prelude::*;
 use verifier::{matgen, minimize, run_scenario, MatrixClass, Scenario, SplitMix64};
 
@@ -244,10 +249,127 @@ proptest! {
     #[test]
     fn differential_oracle_accepts_random_scenarios(seed in 0u64..5000) {
         // the full oracle: five LU implementations, Cholesky, the serving
-        // layer, invariants — any disagreement fails the property (the
-        // seed range is swept exhaustively by `verify-fuzz`)
+        // layer, the sparse family, invariants — any disagreement fails
+        // the property (the seed range is swept exhaustively by
+        // `verify-fuzz`)
         let sc = Scenario::from_seed(seed);
         let report = run_scenario(&sc);
         prop_assert!(report.passed(), "{}", report.summary());
+    }
+}
+
+/// The strict lower triangle plus diagonal of `a`, as its own CSR matrix
+/// (the shape `SparseTriangle::lower` wants).
+fn lower_of(a: &CsrMatrix) -> CsrMatrix {
+    let mut trip = Vec::new();
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j <= i {
+                trip.push((i, j, v));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(a.rows(), a.cols(), &trip).unwrap()
+}
+
+proptest! {
+    // the sparse kernel family: determinism, triangular solves, CG theory
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spmv_parallel_is_bitwise_serial(
+        n in 1usize..150,
+        pattern in 0usize..3,
+        seed in 0u64..1000,
+        threads in 1usize..10,
+    ) {
+        // awkward shapes on purpose: n smaller than the thread count,
+        // single rows, empty bands — the nnz-balanced row split must stay
+        // bitwise in all of them
+        let a = match pattern {
+            0 => banded(n, (n / 4).max(1), seed),
+            1 => random_density(n, 0.15, seed),
+            _ => spd_laplacian(n.clamp(1, 12), n.div_ceil(12).max(1), 0.5),
+        };
+        let m = a.rows();
+        let mut rng = SplitMix64::new(seed ^ 0xabcd);
+        let x: Vec<f64> = (0..m).map(|_| rng.symmetric()).collect();
+        let mut y_serial = vec![0.0f64; m];
+        spmv(&a, &x, &mut y_serial).unwrap();
+        let mut y_par = vec![0.0f64; m];
+        spmv_parallel(&a, &x, &mut y_par, threads).unwrap();
+        for i in 0..m {
+            prop_assert_eq!(
+                y_serial[i].to_bits(),
+                y_par[i].to_bits(),
+                "row {} diverges at {} threads", i, threads
+            );
+        }
+    }
+
+    #[test]
+    fn sptrsv_matches_dense_substitution(
+        n in 1usize..80,
+        hb in 1usize..10,
+        seed in 0u64..1000,
+        threads in 1usize..6,
+    ) {
+        // level-scheduled sparse forward substitution vs the dense blocked
+        // TRSM on the densified triangle: same math, different order, so
+        // the contract is agreement to roundoff
+        let l = lower_of(&banded(n, hb.min(n), seed));
+        let tri = SparseTriangle::lower(l.clone()).unwrap();
+        let mut rng = SplitMix64::new(seed ^ 0x771a);
+        let b: Vec<f64> = (0..n).map(|_| rng.symmetric()).collect();
+        let mut x_sparse = vec![0.0f64; n];
+        tri.solve(&b, &mut x_sparse, threads).unwrap();
+
+        let ld = l.to_dense();
+        let mut x_dense = Matrix::from_fn(n, 1, |i, _| b[i]);
+        trsm_lower_left(&ld, &mut x_dense, false);
+        let scale = (0..n).map(|i| x_dense[(i, 0)].abs()).fold(1.0f64, f64::max);
+        for i in 0..n {
+            prop_assert!(
+                (x_sparse[i] - x_dense[(i, 0)]).abs() <= 1e-9 * scale,
+                "row {}: sparse {} vs dense {}", i, x_sparse[i], x_dense[(i, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn cg_respects_the_laplacian_iteration_bound(
+        nx in 2usize..14,
+        ny in 2usize..14,
+        shift_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // spectrum of the shifted 5-point Laplacian lives in
+        // [shift, shift + 8], so κ ≤ (shift + 8)/shift and the classical
+        // CG bound gives ‖e_k‖_A ≤ 2((√κ−1)/(√κ+1))^k ‖e_0‖_A; solving
+        // for the 2-norm residual target (which lags the A-norm by at
+        // most another √κ) bounds the iteration count analytically
+        let shift = [0.5f64, 1.0, 2.0, 4.0][shift_idx];
+        let a = spd_laplacian(nx, ny, shift);
+        let n = a.rows();
+        let mut rng = SplitMix64::new(seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.symmetric()).collect();
+        let setup = PrecondSetup::prepare(Preconditioner::None, &a).unwrap();
+        let tol = 1e-10;
+        let cfg = CgConfig { tol, max_iters: 4 * n, threads: 0, record_iterates: false };
+        let run = cg(&a, &b, &setup, &cfg).unwrap();
+        prop_assert!(run.converged, "no convergence in {} iters", run.iterations);
+
+        let kappa = (shift + 8.0) / shift;
+        let rho = (kappa.sqrt() - 1.0) / (kappa.sqrt() + 1.0);
+        // iterations until 2·ρ^k ≤ tol/√κ, plus slack for the floating-
+        // point gap between theory and the recurrence residual
+        let bound = ((tol / kappa.sqrt() / 2.0).ln() / rho.ln()).ceil() as usize + 2;
+        let bound = bound.min(n + 2); // exact-arithmetic termination
+        prop_assert!(
+            run.iterations <= bound,
+            "{} iterations exceeds the κ={:.1} bound {} (n={})",
+            run.iterations, kappa, bound, n
+        );
     }
 }
