@@ -4,24 +4,35 @@
 //! workspace. It follows the classic BLIS/GotoBLAS decomposition:
 //!
 //! * the operands are cut into `(mc, kc, nc)` cache blocks
-//!   ([`GemmBlocking`], autotuned at first use or overridable via the
+//!   ([`GemmBlocking`]: persisted per-host tuning via [`crate::tune`],
+//!   else autotuned at first use, overridable via the
 //!   `DENSELIN_GEMM_BLOCK=mc,kc,nc` environment variable),
-//! * `A` blocks are packed into column-major `MR`-row micro-panels and `B`
-//!   blocks into row-major `NR`-column micro-panels, so the innermost loop
-//!   streams both operands contiguously,
-//! * an unrolled `MR x NR` (8x4 f64) register-blocked microkernel keeps a
-//!   full tile of `C` in registers across the whole `kc` reduction. On
-//!   x86-64 the kernel is re-compiled with AVX2+FMA codegen (selected at
-//!   runtime via feature detection) so LLVM autovectorizes it to FMA;
-//!   elsewhere a portable scalar/SIMD-autovectorized body is used. When the
-//!   CPU additionally reports AVX-512F, a hand-unrolled 8x16 zmm-register
-//!   microkernel (explicit `_mm512_fmadd_pd` intrinsics, software prefetch
-//!   of the packed `A` stream, fused load-FMA-store writeback) takes over:
-//!   the wider tile halves the packed-`A` bandwidth per flop, which is the
-//!   binding constraint once the panel no longer fits L1.
+//! * `A` blocks are packed into column-major `mr`-row micro-panels and `B`
+//!   blocks into row-major `nr`-column micro-panels of the selected
+//!   microkernel's geometry, so the innermost loop streams both operands
+//!   contiguously,
+//! * a register-blocked `mr x nr` microkernel keeps a full tile of `C` in
+//!   registers across the whole `kc` reduction. The kernels form a
+//!   macro-generated family registered in [`microkernels`]: portable
+//!   shapes (4x4, 8x4, 6x8, 8x8) whose bodies LLVM autovectorizes for the
+//!   baseline target, the same shapes re-compiled with AVX2+FMA codegen
+//!   (runtime feature detection), and a hand-unrolled 8x16 zmm-register
+//!   AVX-512 kernel (explicit `_mm512_fmadd_pd` intrinsics, software
+//!   prefetch of the packed `A` stream): the wider tile halves the
+//!   packed-`A` bandwidth per flop, which is the binding constraint once
+//!   the panel no longer fits L1. Dispatch consults [`selected_kernel`]
+//!   (forced variant > `DENSELIN_GEMM_KERNEL` env override > persisted
+//!   tuning record > fastest supported ISA default).
 //!
-//! Fringe tiles smaller than `MR x NR` are handled by zero-padding the
+//! Fringe tiles smaller than `mr x nr` are handled by zero-padding the
 //! packed panels and a generic-size edge writeback.
+//!
+//! Every variant shares one arithmetic contract — per-element accumulation
+//! order depends only on the `kc` split and the variant's fused/unfused
+//! reduction class, never on the register or cache tiling — so the scalar
+//! [`gemm_emulated`] oracle predicts each variant's output bitwise and the
+//! parity test layer (`tests/microkernels.rs`) pins every table entry to
+//! it exhaustively.
 //!
 //! Parallelism is a work-stealing tile queue: the `(mc, nc)` macro-tiles of
 //! `C` form a shared queue (an atomic counter) drained by the persistent
@@ -105,57 +116,378 @@ impl MatView {
     }
 }
 
-/// Rows of `C` held in registers per microkernel invocation.
+/// Rows of `C` held in registers by the default (8x4) microkernel shape.
+/// Individual [`Microkernel`] variants carry their own `mr`.
 pub const MR: usize = 8;
-/// Columns of `C` held in registers per microkernel invocation (portable
-/// and AVX2 kernels; the AVX-512 kernel widens to [`NR_AVX512`]).
+/// Columns of `C` held in registers by the default (8x4) microkernel
+/// shape; the AVX-512 kernel widens to [`NR_AVX512`]. Individual
+/// [`Microkernel`] variants carry their own `nr`.
 pub const NR: usize = 4;
 /// Columns of `C` per microkernel invocation for the AVX-512 kernel: two
 /// zmm vectors wide, so sixteen zmm accumulators cover the 8x16 tile.
 pub const NR_AVX512: usize = 16;
 
-/// The microkernel variant selected for this process (cached at first use).
+/// CPU features a [`Microkernel`] needs before it may be dispatched.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum KernelIsa {
-    /// 8x16 zmm-register kernel with explicit FMA intrinsics.
-    Avx512,
-    /// 8x4 kernel compiled with AVX2+FMA codegen.
+pub enum KernelRequirement {
+    /// Runs on the baseline target; always dispatchable.
+    Baseline,
+    /// Needs runtime-detected AVX2 and FMA (x86/x86-64 only).
     Avx2Fma,
-    /// 8x4 kernel with whatever SIMD the baseline target grants.
-    Portable,
+    /// Needs runtime-detected AVX-512F (x86-64 only).
+    Avx512f,
 }
 
-impl KernelIsa {
-    /// Packed-`B` micro-panel width for this kernel.
-    fn nr(self) -> usize {
-        match self {
-            KernelIsa::Avx512 => NR_AVX512,
-            _ => NR,
+/// Uniform microkernel entry point: accumulate the `kc`-deep reduction of
+/// one packed-`A` panel times one packed-`B` panel into the `mr_eff x
+/// nr_eff` tile of `C` at `ctile` as `C += alpha * (A_panel * B_panel)`.
+///
+/// Safety contract (every registered kernel): `ap`/`bp` must hold at least
+/// `kc*mr` / `kc*nr` elements of the kernel's own (mr, nr) geometry, rows
+/// `0..mr_eff` x columns `0..nr_eff` of the `ldc`-strided `ctile` must be
+/// in-bounds with no concurrent access, and the host must support the
+/// kernel's [`KernelRequirement`].
+type UkernelFn = unsafe fn(usize, *const f64, *const f64, *mut f64, usize, f64, usize, usize);
+
+/// One register-blocked microkernel variant in the generated family. The
+/// packer and the blocking sweep read `(mr, nr)` so tile geometry always
+/// follows the selected variant; `fused` records the reduction's rounding
+/// class (fused multiply-add vs separate mul+add), which is all
+/// [`gemm_emulated`] needs to predict the variant's output bitwise.
+#[derive(Debug)]
+pub struct Microkernel {
+    /// Stable identifier, e.g. `portable_8x4`, `avx2_8x8`, `avx512_8x16`.
+    pub name: &'static str,
+    /// Rows of `C` per register tile.
+    pub mr: usize,
+    /// Columns of `C` per register tile (= packed-`B` micro-panel width).
+    pub nr: usize,
+    /// CPU features the kernel needs at runtime.
+    pub requires: KernelRequirement,
+    /// Whether the `kc` reduction fuses multiply-add (one rounding per
+    /// step) or rounds the product and the sum separately.
+    pub fused: bool,
+    func: UkernelFn,
+}
+
+impl Microkernel {
+    /// Whether this kernel may be dispatched on the current host.
+    pub fn supported(&self) -> bool {
+        match self.requires {
+            KernelRequirement::Baseline => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelRequirement::Avx2Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelRequirement::Avx512f => std::arch::is_x86_feature_detected!("avx512f"),
+            #[allow(unreachable_patterns)]
+            _ => false,
         }
     }
+
+    /// Look a variant up by its stable name.
+    pub fn by_name(name: &str) -> Option<&'static Microkernel> {
+        microkernels().iter().find(|k| k.name == name)
+    }
+
+    /// Invoke the kernel (see [`UkernelFn`] for the safety contract).
+    ///
+    /// # Safety
+    /// As documented on [`UkernelFn`]; additionally [`Self::supported`]
+    /// must be true.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(crate) unsafe fn run(
+        &self,
+        kc: usize,
+        ap: *const f64,
+        bp: *const f64,
+        ctile: *mut f64,
+        ldc: usize,
+        alpha: f64,
+        mr_eff: usize,
+        nr_eff: usize,
+    ) {
+        (self.func)(kc, ap, bp, ctile, ldc, alpha, mr_eff, nr_eff)
+    }
 }
 
-/// Runtime CPU-feature dispatch, resolved once per process.
-fn active_isa() -> KernelIsa {
-    #[cfg(target_arch = "x86_64")]
-    {
-        static ISA: OnceLock<KernelIsa> = OnceLock::new();
-        *ISA.get_or_init(|| {
-            if std::arch::is_x86_feature_detected!("avx512f") {
-                KernelIsa::Avx512
-            } else if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                KernelIsa::Avx2Fma
-            } else {
-                KernelIsa::Portable
+/// aarch64 has FMA (`fmla`) in its baseline ISA, so portable kernels fuse
+/// unconditionally there; elsewhere plain mul+add avoids a libm `fma` call
+/// on targets without hardware FMA.
+const PORTABLE_FUSED: bool = cfg!(target_arch = "aarch64");
+
+/// Generates one microkernel shape: the register-blocked reduction body
+/// (generic over the fuse flag), a portable entry point, and an AVX2+FMA
+/// re-compilation of the same body (x86/x86-64 only; LLVM autovectorizes
+/// the accumulator block into ymm FMAs). The literal `mr`/`nr` keep the
+/// accumulator a true fixed-size register tile.
+macro_rules! define_microkernel_shape {
+    ($body:ident, $portable:ident, $avx2:ident, $mr:literal, $nr:literal) => {
+        #[inline(always)]
+        fn $body<const FUSE: bool>(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; $mr * $nr] {
+            debug_assert!(ap.len() >= kc * $mr && bp.len() >= kc * $nr);
+            let mut acc = [0.0f64; $mr * $nr];
+            for kk in 0..kc {
+                let av = &ap[kk * $mr..kk * $mr + $mr];
+                let bv = &bp[kk * $nr..kk * $nr + $nr];
+                for r in 0..$mr {
+                    let ar = av[r];
+                    for cc in 0..$nr {
+                        let t = acc[r * $nr + cc];
+                        acc[r * $nr + cc] = if FUSE {
+                            ar.mul_add(bv[cc], t)
+                        } else {
+                            ar * bv[cc] + t
+                        };
+                    }
+                }
             }
-        })
+            acc
+        }
+
+        /// SAFETY: per the [`UkernelFn`] contract.
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $portable(
+            kc: usize,
+            ap: *const f64,
+            bp: *const f64,
+            ctile: *mut f64,
+            ldc: usize,
+            alpha: f64,
+            mr_eff: usize,
+            nr_eff: usize,
+        ) {
+            let ap = std::slice::from_raw_parts(ap, kc * $mr);
+            let bp = std::slice::from_raw_parts(bp, kc * $nr);
+            let acc = $body::<PORTABLE_FUSED>(kc, ap, bp);
+            writeback_dyn(ctile, ldc, mr_eff, nr_eff, alpha, &acc, $nr);
+        }
+
+        /// SAFETY: per the [`UkernelFn`] contract; host must have AVX2+FMA.
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2(
+            kc: usize,
+            ap: *const f64,
+            bp: *const f64,
+            ctile: *mut f64,
+            ldc: usize,
+            alpha: f64,
+            mr_eff: usize,
+            nr_eff: usize,
+        ) {
+            let ap = std::slice::from_raw_parts(ap, kc * $mr);
+            let bp = std::slice::from_raw_parts(bp, kc * $nr);
+            let acc = $body::<true>(kc, ap, bp);
+            writeback_dyn(ctile, ldc, mr_eff, nr_eff, alpha, &acc, $nr);
+        }
+    };
+}
+
+define_microkernel_shape!(body_4x4, portable_4x4_uk, avx2_4x4_uk, 4, 4);
+define_microkernel_shape!(body_8x4, portable_8x4_uk, avx2_8x4_uk, 8, 4);
+define_microkernel_shape!(body_6x8, portable_6x8_uk, avx2_6x8_uk, 6, 8);
+define_microkernel_shape!(body_8x8, portable_8x8_uk, avx2_8x8_uk, 8, 8);
+
+/// The registered microkernel family: every generated portable shape, the
+/// AVX2+FMA re-compilations (x86/x86-64), and the hand-unrolled AVX-512
+/// 8x16 kernel (x86-64). The table is the single source of truth the
+/// tuner's sweep, the dispatcher, the parity tests, and the verifier's
+/// forced-dispatch scenarios all iterate.
+pub fn microkernels() -> &'static [Microkernel] {
+    static TABLE: OnceLock<Vec<Microkernel>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        macro_rules! entry {
+            ($name:literal, $mr:literal, $nr:literal, $req:expr, $fused:expr, $func:ident) => {
+                Microkernel {
+                    name: $name,
+                    mr: $mr,
+                    nr: $nr,
+                    requires: $req,
+                    fused: $fused,
+                    func: $func,
+                }
+            };
+        }
+        use KernelRequirement::*;
+        let mut t = vec![
+            entry!(
+                "portable_4x4",
+                4,
+                4,
+                Baseline,
+                PORTABLE_FUSED,
+                portable_4x4_uk
+            ),
+            entry!(
+                "portable_8x4",
+                8,
+                4,
+                Baseline,
+                PORTABLE_FUSED,
+                portable_8x4_uk
+            ),
+            entry!(
+                "portable_6x8",
+                6,
+                8,
+                Baseline,
+                PORTABLE_FUSED,
+                portable_6x8_uk
+            ),
+            entry!(
+                "portable_8x8",
+                8,
+                8,
+                Baseline,
+                PORTABLE_FUSED,
+                portable_8x8_uk
+            ),
+        ];
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        t.extend([
+            entry!("avx2_4x4", 4, 4, Avx2Fma, true, avx2_4x4_uk),
+            entry!("avx2_8x4", 8, 4, Avx2Fma, true, avx2_8x4_uk),
+            entry!("avx2_6x8", 6, 8, Avx2Fma, true, avx2_6x8_uk),
+            entry!("avx2_8x8", 8, 8, Avx2Fma, true, avx2_8x8_uk),
+        ]);
+        #[cfg(target_arch = "x86_64")]
+        t.push(entry!(
+            "avx512_8x16",
+            8,
+            16,
+            Avx512f,
+            true,
+            microkernel_avx512
+        ));
+        t
+    })
+}
+
+/// Names of every registered variant, for diagnostics.
+fn kernel_names() -> Vec<&'static str> {
+    microkernels().iter().map(|k| k.name).collect()
+}
+
+/// The fastest-ISA default when neither an override nor a persisted tuning
+/// record selects a kernel. Public so the `tune` bench bin can measure the
+/// heuristic baseline the persisted winner must beat.
+pub fn default_isa_kernel() -> &'static Microkernel {
+    for name in ["avx512_8x16", "avx2_8x4", "portable_8x4"] {
+        if let Some(k) = Microkernel::by_name(name) {
+            if k.supported() {
+                return k;
+            }
+        }
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        KernelIsa::Portable
+    &microkernels()[0]
+}
+
+/// Index into [`microkernels`] of the process-wide forced variant, or
+/// `usize::MAX` when no force is active.
+static FORCED_KERNEL: AtomicUsize = AtomicUsize::new(usize::MAX);
+/// Serializes forcers: at most one [`KernelForce`] guard exists at a time.
+static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// RAII guard from [`force_kernel`]: while alive, every dispatch that
+/// consults [`selected_kernel`] uses the forced variant; dropping it
+/// restores the default selection. At most one guard exists at a time
+/// (a second [`force_kernel`] call blocks), so differential tests that
+/// force variants serialize against each other.
+pub struct KernelForce {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for KernelForce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelForce")
+            .field("kernel", &selected_kernel().name)
+            .finish()
     }
+}
+
+impl Drop for KernelForce {
+    fn drop(&mut self) {
+        FORCED_KERNEL.store(usize::MAX, Ordering::Release);
+    }
+}
+
+/// Force every subsequent [`selected_kernel`] consultation to the named
+/// variant until the returned guard drops. Errors on unknown names and on
+/// variants the host cannot run (callers degrade gracefully, e.g. the
+/// verifier records a skip). Do not call re-entrantly from one thread —
+/// the serializing lock would self-deadlock.
+pub fn force_kernel(name: &str) -> Result<KernelForce, String> {
+    let idx = microkernels()
+        .iter()
+        .position(|k| k.name == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown microkernel `{name}` (registered: {})",
+                kernel_names().join(", ")
+            )
+        })?;
+    if !microkernels()[idx].supported() {
+        return Err(format!(
+            "microkernel `{name}` is not supported on this host"
+        ));
+    }
+    let lock = FORCE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    FORCED_KERNEL.store(idx, Ordering::Release);
+    Ok(KernelForce { _lock: lock })
+}
+
+/// The microkernel `gemm`/`gemm_parallel` dispatch right now: an active
+/// [`force_kernel`] guard wins, then the cached default — the
+/// `DENSELIN_GEMM_KERNEL` env override if valid, else the persisted
+/// per-host tuning record, else the fastest supported ISA default.
+pub fn selected_kernel() -> &'static Microkernel {
+    selected_kernel_with_source().0
+}
+
+/// [`selected_kernel`] plus where the decision came from (the reload gate
+/// of the `tune` bench bin asserts the persisted path is actually taken).
+pub fn selected_kernel_with_source() -> (&'static Microkernel, crate::tune::TuneSource) {
+    let forced = FORCED_KERNEL.load(Ordering::Acquire);
+    if forced != usize::MAX {
+        return (&microkernels()[forced], crate::tune::TuneSource::Forced);
+    }
+    static DEFAULT: OnceLock<(&'static Microkernel, crate::tune::TuneSource)> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var("DENSELIN_GEMM_KERNEL") {
+            let name = raw.trim();
+            match Microkernel::by_name(name) {
+                Some(k) if k.supported() => return (k, crate::tune::TuneSource::EnvOverride),
+                Some(_) => eprintln!(
+                    "denselin: DENSELIN_GEMM_KERNEL=`{name}` is not supported on this host; \
+                     falling back"
+                ),
+                None => eprintln!(
+                    "denselin: unknown DENSELIN_GEMM_KERNEL `{name}` (registered: {}); \
+                     falling back",
+                    kernel_names().join(", ")
+                ),
+            }
+        }
+        if let Some(rec) = crate::tune::persisted() {
+            if let Some(k) = Microkernel::by_name(&rec.kernel) {
+                if k.supported() {
+                    return (k, crate::tune::TuneSource::Persisted);
+                }
+            }
+            eprintln!(
+                "denselin: persisted tuning names kernel `{}` unavailable here; using ISA default",
+                rec.kernel
+            );
+        }
+        (default_isa_kernel(), crate::tune::TuneSource::Heuristic)
+    })
 }
 
 /// Cache-blocking parameters for [`gemm`].
@@ -183,25 +515,68 @@ impl Default for GemmBlocking {
 
 impl GemmBlocking {
     /// The blocking used by [`gemm`]: the `DENSELIN_GEMM_BLOCK=mc,kc,nc`
-    /// environment override if set, otherwise a parameter set autotuned at
-    /// first use (a one-time ~100 ms probe over a small candidate grid,
-    /// cached for the process lifetime).
+    /// environment override if valid, otherwise the persisted per-host
+    /// tuning record when one exists ([`crate::tune`]), otherwise a
+    /// parameter set autotuned at first use (a one-time ~100 ms probe over
+    /// a small candidate grid). Cached for the process lifetime — the env
+    /// override is validated *before* the cache fills, so a malformed
+    /// value is reported (once, to stderr) instead of silently latching
+    /// the fallback.
     pub fn tuned() -> Self {
-        static TUNED: OnceLock<GemmBlocking> = OnceLock::new();
-        *TUNED.get_or_init(|| Self::from_env().unwrap_or_else(Self::autotune))
+        Self::tuned_with_source().0
+    }
+
+    /// [`Self::tuned`] plus where the decision came from, so the `tune`
+    /// bench bin's reload gate can assert the persisted file is consulted
+    /// instead of re-sweeping.
+    pub fn tuned_with_source() -> (Self, crate::tune::TuneSource) {
+        static TUNED: OnceLock<(GemmBlocking, crate::tune::TuneSource)> = OnceLock::new();
+        *TUNED.get_or_init(|| {
+            match Self::from_env_checked() {
+                Ok(Some(blk)) => return (blk, crate::tune::TuneSource::EnvOverride),
+                Ok(None) => {}
+                Err(msg) => eprintln!(
+                    "denselin: ignoring invalid DENSELIN_GEMM_BLOCK ({msg}); falling back to \
+                     tuned/heuristic blocking"
+                ),
+            }
+            if let Some(rec) = crate::tune::persisted() {
+                return (rec.blocking, crate::tune::TuneSource::Persisted);
+            }
+            (Self::autotune(), crate::tune::TuneSource::Heuristic)
+        })
     }
 
     /// Parse the `DENSELIN_GEMM_BLOCK=mc,kc,nc` override, if present and
     /// well-formed (three positive comma-separated integers).
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("DENSELIN_GEMM_BLOCK").ok()?;
+        Self::from_env_checked().ok().flatten()
+    }
+
+    /// Like [`Self::from_env`], but distinguishes "unset" (`Ok(None)`)
+    /// from "set but malformed" (`Err` with a description), so callers can
+    /// warn instead of silently ignoring a user's override.
+    pub fn from_env_checked() -> Result<Option<Self>, String> {
+        let raw = match std::env::var("DENSELIN_GEMM_BLOCK") {
+            Ok(raw) => raw,
+            Err(_) => return Ok(None),
+        };
         let mut it = raw.split(',').map(|s| s.trim().parse::<usize>());
         match (it.next(), it.next(), it.next(), it.next()) {
             (Some(Ok(mc)), Some(Ok(kc)), Some(Ok(nc)), None) if mc > 0 && kc > 0 && nc > 0 => {
-                Some(Self { mc, kc, nc })
+                Ok(Some(Self { mc, kc, nc }))
             }
-            _ => None,
+            _ => Err(format!(
+                "expected three positive comma-separated integers `mc,kc,nc`, got `{raw}`"
+            )),
         }
+    }
+
+    /// The heuristic blocking probe, uncached: what [`Self::tuned`] falls
+    /// back to when nothing is persisted. Public so the `tune` bench bin
+    /// can measure the baseline the persisted winner must beat.
+    pub fn autotuned_heuristic() -> Self {
+        Self::autotune()
     }
 
     /// One-time probe: time a fixed mid-size multiplication under each
@@ -290,10 +665,33 @@ pub fn gemm_blocked(
     beta: f64,
     blk: GemmBlocking,
 ) {
+    gemm_blocked_with(c, alpha, a, b, beta, blk, selected_kernel());
+}
+
+/// [`gemm_blocked`] with an explicit microkernel variant: the tuner's
+/// serial measurement entry and the parity tests' way of pinning every
+/// registered variant without touching the process-wide selection.
+///
+/// # Panics
+/// Panics if the shapes are not conformant or `krn` is unsupported here.
+pub fn gemm_blocked_with(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    blk: GemmBlocking,
+    krn: &Microkernel,
+) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm: inner dimensions must match");
     assert_eq!(c.shape(), (m, n), "gemm: output shape must be (m, n)");
+    assert!(
+        krn.supported(),
+        "microkernel `{}` unsupported here",
+        krn.name
+    );
 
     scale_in_place(c, beta);
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
@@ -314,7 +712,7 @@ pub fn gemm_blocked(
             // the views borrow `a`/`b` which are not mutated here.
             unsafe {
                 packed_tile_update(
-                    cptr, ldc, alpha, av, bv, i0, mh, j0, nw, blk, &mut abuf, &mut bbuf,
+                    cptr, ldc, alpha, av, bv, i0, mh, j0, nw, blk, krn, &mut abuf, &mut bbuf,
                 );
             }
         }
@@ -346,6 +744,54 @@ pub fn gemm_reference(c: &mut Matrix, alpha: f64, a: &Matrix, b: &Matrix, beta: 
             for jj in (0..n).step_by(blk.nc) {
                 let jend = (jj + blk.nc).min(n);
                 reference_macro_kernel(c, alpha, a, b, ii..iend, kk..kend, jj..jend);
+            }
+        }
+    }
+}
+
+/// Scalar per-element oracle for the packed paths: predicts the exact
+/// bits every registered [`Microkernel`] produces, because a C element's
+/// accumulation order depends only on the `kc` split (ascending blocks,
+/// ascending `k` within a block, one `c += alpha * acc` writeback per
+/// block) and on whether the reduction fuses multiply-add — never on the
+/// `(mr, nr)` register tiling or the `(mc, nc)` macro-tiling. Pass the
+/// blocking's `kc` and the variant's `fused` flag; the parity test layer
+/// asserts `gemm_blocked_with` (and the parallel path at every thread
+/// count) matches this bit for bit.
+pub fn gemm_emulated(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    kc: usize,
+    fused: bool,
+) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: inner dimensions must match");
+    assert_eq!(c.shape(), (m, n), "gemm: output shape must be (m, n)");
+    assert!(kc > 0, "gemm_emulated: kc must be positive");
+
+    scale_in_place(c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for i in 0..m {
+        for j in 0..n {
+            let mut pc = 0;
+            while pc < k {
+                let kcb = kc.min(k - pc);
+                let mut acc = 0.0f64;
+                for kk in pc..pc + kcb {
+                    acc = if fused {
+                        a[(i, kk)].mul_add(b[(kk, j)], acc)
+                    } else {
+                        a[(i, kk)] * b[(kk, j)] + acc
+                    };
+                }
+                c[(i, j)] += alpha * acc;
+                pc += kcb;
             }
         }
     }
@@ -388,6 +834,35 @@ pub fn gemm_parallel_report(
     beta: f64,
     threads: usize,
 ) -> TileQueueReport {
+    gemm_parallel_with(
+        c,
+        alpha,
+        a,
+        b,
+        beta,
+        threads,
+        GemmBlocking::tuned(),
+        selected_kernel(),
+    )
+}
+
+/// [`gemm_parallel_report`] with explicit blocking and microkernel: the
+/// tuner's threaded measurement entry, and how the parity tests pin every
+/// variant at every thread count.
+///
+/// # Panics
+/// Panics if the shapes are not conformant or `krn` is unsupported here.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel_with(
+    c: &mut Matrix,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    threads: usize,
+    blk: GemmBlocking,
+    krn: &Microkernel,
+) -> TileQueueReport {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm: inner dimensions must match");
@@ -395,14 +870,18 @@ pub fn gemm_parallel_report(
 
     let threads = threads.max(1);
     if threads == 1 || m * n * k < 64 * 64 * 64 {
-        gemm(c, alpha, a, b, beta);
+        gemm_blocked_with(c, alpha, a, b, beta, blk, krn);
         return TileQueueReport {
             tiles: 1,
             tiles_per_worker: vec![1],
         };
     }
 
-    let blk = GemmBlocking::tuned();
+    assert!(
+        krn.supported(),
+        "microkernel `{}` unsupported here",
+        krn.name
+    );
     scale_in_place(c, beta);
     if alpha == 0.0 {
         return TileQueueReport {
@@ -450,6 +929,7 @@ pub fn gemm_parallel_report(
                     j0,
                     nw,
                     blk,
+                    krn,
                     &mut abuf,
                     &mut bbuf,
                 );
@@ -543,62 +1023,61 @@ pub(crate) unsafe fn packed_tile_update(
     j0: usize,
     nw: usize,
     blk: GemmBlocking,
+    krn: &Microkernel,
     abuf: &mut Vec<f64>,
     bbuf: &mut Vec<f64>,
 ) {
     let k = a.cols();
-    let isa = active_isa();
-    let nr = isa.nr();
+    let (mr, nr) = (krn.mr, krn.nr);
     let mut pc = 0;
     while pc < k {
         let kc = blk.kc.min(k - pc);
         pack_b(b, pc, j0, kc, nw, nr, bbuf);
-        pack_a(a, i0, pc, mh, kc, abuf);
-        let mpanels = mh.div_ceil(MR);
+        pack_a(a, i0, pc, mh, kc, mr, abuf);
+        let mpanels = mh.div_ceil(mr);
         let npanels = nw.div_ceil(nr);
         for jp in 0..npanels {
             let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
             let nr_eff = nr.min(nw - jp * nr);
             for ip in 0..mpanels {
-                let ap = &abuf[ip * MR * kc..(ip + 1) * MR * kc];
-                let mr_eff = MR.min(mh - ip * MR);
-                let ctile = cptr.add((i0 + ip * MR) * ldc + j0 + jp * nr);
-                match isa {
-                    #[cfg(target_arch = "x86_64")]
-                    KernelIsa::Avx512 => {
-                        microkernel_avx512(
-                            kc,
-                            ap.as_ptr(),
-                            bp.as_ptr(),
-                            ctile,
-                            ldc,
-                            alpha,
-                            mr_eff,
-                            nr_eff,
-                        );
-                    }
-                    _ => {
-                        let acc = run_microkernel(isa == KernelIsa::Avx2Fma, kc, ap, bp);
-                        writeback(ctile, ldc, mr_eff, nr_eff, alpha, &acc);
-                    }
-                }
+                let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
+                let mr_eff = mr.min(mh - ip * mr);
+                let ctile = cptr.add((i0 + ip * mr) * ldc + j0 + jp * nr);
+                krn.run(
+                    kc,
+                    ap.as_ptr(),
+                    bp.as_ptr(),
+                    ctile,
+                    ldc,
+                    alpha,
+                    mr_eff,
+                    nr_eff,
+                );
             }
         }
         pc += kc;
     }
 }
 
-/// Pack the `mh x kc` block of `A` at `(i0, p0)` into `ceil(mh/MR)`
-/// micro-panels. Panel `ip` stores its `MR` rows column-major (`kc` groups
-/// of `MR` consecutive values); rows past `mh` are zero-padded so the
-/// microkernel always reads full `MR` groups.
+/// Pack the `mh x kc` block of `A` at `(i0, p0)` into `ceil(mh/mr)`
+/// micro-panels of the selected kernel's row height. Panel `ip` stores its
+/// `mr` rows column-major (`kc` groups of `mr` consecutive values); rows
+/// past `mh` are zero-padded so the microkernel always reads full groups.
 ///
 /// # Safety
 /// The block `(i0..i0+mh, p0..p0+kc)` must be in-bounds of the view and the
 /// view's region-immutability contract must hold for the call.
-unsafe fn pack_a(a: MatView, i0: usize, p0: usize, mh: usize, kc: usize, buf: &mut Vec<f64>) {
-    let panels = mh.div_ceil(MR);
-    let len = panels * MR * kc;
+unsafe fn pack_a(
+    a: MatView,
+    i0: usize,
+    p0: usize,
+    mh: usize,
+    kc: usize,
+    mr: usize,
+    buf: &mut Vec<f64>,
+) {
+    let panels = mh.div_ceil(mr);
+    let len = panels * mr * kc;
     // Every slot is written below (values or explicit padding), so reuse
     // the buffer without the O(len) zero-fill a `resize` from empty costs.
     if buf.len() != len {
@@ -606,17 +1085,17 @@ unsafe fn pack_a(a: MatView, i0: usize, p0: usize, mh: usize, kc: usize, buf: &m
         buf.resize(len, 0.0);
     }
     for ip in 0..panels {
-        let base = ip * MR * kc;
-        let rmax = MR.min(mh - ip * MR);
+        let base = ip * mr * kc;
+        let rmax = mr.min(mh - ip * mr);
         for r in 0..rmax {
-            let arow = &a.row(i0 + ip * MR + r)[p0..p0 + kc];
+            let arow = &a.row(i0 + ip * mr + r)[p0..p0 + kc];
             for (kk, &v) in arow.iter().enumerate() {
-                buf[base + kk * MR + r] = v;
+                buf[base + kk * mr + r] = v;
             }
         }
-        for r in rmax..MR {
+        for r in rmax..mr {
             for kk in 0..kc {
-                buf[base + kk * MR + r] = 0.0;
+                buf[base + kk * mr + r] = 0.0;
             }
         }
     }
@@ -661,74 +1140,40 @@ unsafe fn pack_b(
     }
 }
 
-/// The register-blocked inner loop: a full `MR x NR` tile of `C` is kept in
-/// `acc` across the whole `kc` reduction, reading one `MR`-group of packed
-/// `A` and one `NR`-group of packed `B` per step. `FUSE` selects fused
-/// multiply-add (only instantiated where FMA codegen is guaranteed, so it
-/// never lowers to a libm call).
-#[inline(always)]
-fn microkernel_body<const FUSE: bool>(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
-    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
-    let mut acc = [0.0f64; MR * NR];
-    for kk in 0..kc {
-        let av = &ap[kk * MR..kk * MR + MR];
-        let bv = &bp[kk * NR..kk * NR + NR];
-        for r in 0..MR {
-            let ar = av[r];
-            for cc in 0..NR {
-                let t = acc[r * NR + cc];
-                acc[r * NR + cc] = if FUSE {
-                    ar.mul_add(bv[cc], t)
-                } else {
-                    ar * bv[cc] + t
-                };
-            }
-        }
-    }
-    acc
-}
-
-/// aarch64 has FMA (`fmla`) in its baseline ISA, so the portable kernel can
-/// fuse unconditionally there; elsewhere plain mul+add avoids a libm `fma`
-/// call on targets without hardware FMA.
-#[cfg(target_arch = "aarch64")]
-fn microkernel_portable(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
-    microkernel_body::<true>(kc, ap, bp)
-}
-
-#[cfg(not(target_arch = "aarch64"))]
-fn microkernel_portable(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
-    microkernel_body::<false>(kc, ap, bp)
-}
-
-/// The same Rust body re-compiled with AVX2+FMA codegen: LLVM autovectorizes
-/// the 8x4 accumulator block into ymm-register FMAs.
+/// Scatter `alpha * acc` into the `mr_eff x nr_eff` tile of `C`, where
+/// `acc` is an `nrv`-column-major accumulator tile (full tiles and
+/// zero-padded fringes alike). The `c + alpha*acc` rounding here (separate
+/// mul then add) is uniform across every registered kernel — it is part of
+/// the arithmetic contract [`gemm_emulated`] predicts.
 ///
 /// # Safety
-/// Caller must ensure the CPU supports AVX2 and FMA.
-#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-#[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn microkernel_avx2fma(kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
-    microkernel_body::<true>(kc, ap, bp)
-}
-
+/// Rows `0..mr_eff`, columns `0..nr_eff` of the `ldc`-strided buffer at
+/// `ctile` must be in-bounds, with no concurrent access to them.
 #[inline(always)]
-fn run_microkernel(fma: bool, kc: usize, ap: &[f64], bp: &[f64]) -> [f64; MR * NR] {
-    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-    if fma {
-        // SAFETY: `fma` is set only when active_isa() detected AVX2+FMA.
-        return unsafe { microkernel_avx2fma(kc, ap, bp) };
+unsafe fn writeback_dyn(
+    ctile: *mut f64,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    alpha: f64,
+    acc: &[f64],
+    nrv: usize,
+) {
+    for r in 0..mr_eff {
+        let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), nr_eff);
+        for (cc, cv) in crow.iter_mut().enumerate() {
+            *cv += alpha * acc[r * nrv + cc];
+        }
     }
-    let _ = fma;
-    microkernel_portable(kc, ap, bp)
 }
 
 /// The 8x16 AVX-512 microkernel: sixteen zmm accumulators hold the full
 /// `MR x NR_AVX512` tile of `C` across the `kc` reduction; each step does
 /// one two-vector load of packed `B`, eight scalar broadcasts of packed `A`
-/// (prefetched a cache line ahead), and sixteen `vfmadd`s. Full tiles fold
-/// the `C += alpha * acc` writeback into vector load-FMA-store; fringe
-/// tiles spill `acc` to a scratch tile and take the generic edge loop.
+/// (prefetched a cache line ahead), and sixteen `vfmadd`s. The writeback is
+/// a vectorized (but deliberately unfused) `C + alpha*acc` so its rounding
+/// matches every other registered kernel; fringe tiles spill `acc` to a
+/// scratch tile and take the generic edge loop.
 ///
 /// # Safety
 /// Caller must ensure AVX-512F support, `ap`/`bp` panels of at least
@@ -784,12 +1229,21 @@ unsafe fn microkernel_avx512(
         b = b.add(NR_AVX512);
     }
     if mr_eff == MR && nr_eff == NR_AVX512 {
+        // Unfused `C + alpha*acc` (mul, then add) so the writeback rounding
+        // matches writeback_dyn bitwise: every registered kernel shares one
+        // writeback class and gemm_emulated predicts all of them.
         let av = _mm512_set1_pd(alpha);
         for r in 0..MR {
             let p = ctile.add(r * ldc);
-            _mm512_storeu_pd(p, _mm512_fmadd_pd(av, acc0[r], _mm512_loadu_pd(p)));
+            _mm512_storeu_pd(
+                p,
+                _mm512_add_pd(_mm512_loadu_pd(p), _mm512_mul_pd(av, acc0[r])),
+            );
             let p8 = p.add(8);
-            _mm512_storeu_pd(p8, _mm512_fmadd_pd(av, acc1[r], _mm512_loadu_pd(p8)));
+            _mm512_storeu_pd(
+                p8,
+                _mm512_add_pd(_mm512_loadu_pd(p8), _mm512_mul_pd(av, acc1[r])),
+            );
         }
     } else {
         let mut scratch = [0.0f64; MR * NR_AVX512];
@@ -802,39 +1256,6 @@ unsafe fn microkernel_avx512(
             let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), nr_eff);
             for (cc, cv) in crow.iter_mut().enumerate() {
                 *cv += alpha * scratch[r * NR_AVX512 + cc];
-            }
-        }
-    }
-}
-
-/// Scatter `alpha * acc` into `C`. Full tiles take the constant-bound fast
-/// path; fringe tiles (`mr_eff < MR` or `nr_eff < NR`) go through the
-/// generic-size edge kernel.
-///
-/// # Safety
-/// Rows `0..mr_eff`, columns `0..nr_eff` of the `ldc`-strided buffer at
-/// `ctile` must be in-bounds, with no concurrent access to them.
-#[inline(always)]
-unsafe fn writeback(
-    ctile: *mut f64,
-    ldc: usize,
-    mr_eff: usize,
-    nr_eff: usize,
-    alpha: f64,
-    acc: &[f64; MR * NR],
-) {
-    if mr_eff == MR && nr_eff == NR {
-        for r in 0..MR {
-            let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), NR);
-            for cc in 0..NR {
-                crow[cc] += alpha * acc[r * NR + cc];
-            }
-        }
-    } else {
-        for r in 0..mr_eff {
-            let crow = std::slice::from_raw_parts_mut(ctile.add(r * ldc), nr_eff);
-            for (cc, cv) in crow.iter_mut().enumerate() {
-                *cv += alpha * acc[r * NR + cc];
             }
         }
     }
@@ -1147,14 +1568,93 @@ mod tests {
                 nc: 128
             })
         );
+        // Malformed values must be *reported* (Err), not silently dropped:
+        // tuned() warns on this instead of latching the fallback quietly.
         std::env::set_var("DENSELIN_GEMM_BLOCK", "bogus");
         assert_eq!(GemmBlocking::from_env(), None);
+        assert!(GemmBlocking::from_env_checked()
+            .unwrap_err()
+            .contains("bogus"));
         std::env::set_var("DENSELIN_GEMM_BLOCK", "1,2");
         assert_eq!(GemmBlocking::from_env(), None);
+        assert!(GemmBlocking::from_env_checked().is_err());
         std::env::set_var("DENSELIN_GEMM_BLOCK", "0,2,3");
         assert_eq!(GemmBlocking::from_env(), None);
+        assert!(GemmBlocking::from_env_checked().is_err());
+        std::env::set_var("DENSELIN_GEMM_BLOCK", "1,2,3,4");
+        assert!(GemmBlocking::from_env_checked().is_err());
+        // Unset is Ok(None), not an error.
         std::env::remove_var("DENSELIN_GEMM_BLOCK");
         assert_eq!(GemmBlocking::from_env(), None);
+        assert_eq!(GemmBlocking::from_env_checked(), Ok(None));
+    }
+
+    #[test]
+    fn kernel_table_is_well_formed() {
+        let table = microkernels();
+        assert!(table.len() >= 4, "at least the four portable shapes");
+        let mut names = std::collections::HashSet::new();
+        for k in table {
+            assert!(names.insert(k.name), "duplicate kernel name {}", k.name);
+            assert!(k.mr > 0 && k.nr > 0);
+            assert_eq!(
+                k.name,
+                format!("{}_{}x{}", k.name.split('_').next().unwrap(), k.mr, k.nr)
+            );
+            assert!(std::ptr::eq(Microkernel::by_name(k.name).unwrap(), k));
+            if k.requires == KernelRequirement::Baseline {
+                assert!(
+                    k.supported(),
+                    "baseline kernel {} must run anywhere",
+                    k.name
+                );
+                assert_eq!(k.fused, PORTABLE_FUSED);
+            }
+        }
+        for shape in ["4x4", "8x4", "6x8", "8x8"] {
+            assert!(names.contains(format!("portable_{shape}").as_str()));
+        }
+        assert!(Microkernel::by_name("no_such_kernel").is_none());
+    }
+
+    #[test]
+    fn every_supported_kernel_matches_emulator_bitwise() {
+        // Quick in-crate parity check (the exhaustive sweep with fringes,
+        // NaN/beta grids and thread counts lives in tests/microkernels.rs):
+        // each supported variant through an awkward shape must equal the
+        // scalar emulator bit for bit.
+        let mut rng = StdRng::seed_from_u64(48);
+        let a = Matrix::random(&mut rng, 29, 23);
+        let b = Matrix::random(&mut rng, 23, 33);
+        let c0 = Matrix::random(&mut rng, 29, 33);
+        let blk = GemmBlocking {
+            mc: 16,
+            kc: 7,
+            nc: 24,
+        };
+        for krn in microkernels().iter().filter(|k| k.supported()) {
+            let mut c = c0.clone();
+            gemm_blocked_with(&mut c, -1.5, &a, &b, 0.25, blk, krn);
+            let mut e = c0.clone();
+            gemm_emulated(&mut e, -1.5, &a, &b, 0.25, blk.kc, krn.fused);
+            assert_eq!(c.as_slice(), e.as_slice(), "kernel {}", krn.name);
+        }
+    }
+
+    #[test]
+    fn force_kernel_guard_overrides_and_restores() {
+        // Force the kernel that is already selected: exercises the guard's
+        // store/restore without perturbing concurrently running in-process
+        // tests that rely on a stable kernel selection.
+        let name = selected_kernel().name;
+        {
+            let guard = force_kernel(name).unwrap();
+            assert_eq!(selected_kernel().name, name);
+            drop(guard);
+        }
+        assert_eq!(selected_kernel().name, name);
+        let err = force_kernel("no_such_kernel").unwrap_err();
+        assert!(err.contains("unknown microkernel"), "{err}");
     }
 
     #[test]

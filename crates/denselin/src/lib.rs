@@ -15,6 +15,9 @@
 //!   multithreaded LU, bitwise
 //!   identical to [`lu::lu_blocked`],
 //! * [`pool`] — the persistent worker pool every parallel kernel shares,
+//! * [`tune`] — persistent per-host microkernel/blocking autotuning (the
+//!   macro-generated variant table lives in [`mod@gemm`]; the `tune`
+//!   bench bin sweeps it and persists the winner),
 //! * [`tournament`] — communication-avoiding tournament pivoting,
 //! * [`blockcyclic`] — ScaLAPACK-style block-cyclic index arithmetic.
 //!
@@ -47,11 +50,16 @@ pub mod qr;
 pub mod refine;
 pub mod tournament;
 pub mod trsm;
+pub mod tune;
 
 pub use blockcyclic::{BlockCyclic1D, BlockCyclic2D};
 pub use cholesky::{cholesky_blocked, cholesky_unblocked, NotPositiveDefinite};
 pub use condition::{condition_estimate, one_norm};
-pub use gemm::{auto_threads, gemm, gemm_auto, gemm_parallel, matmul, GemmBlocking};
+pub use gemm::{
+    auto_threads, default_isa_kernel, force_kernel, gemm, gemm_auto, gemm_blocked,
+    gemm_blocked_with, gemm_emulated, gemm_parallel, matmul, microkernels, selected_kernel,
+    GemmBlocking, Microkernel,
+};
 pub use lu::{lu_blocked, lu_unblocked, LuFactorization, SingularMatrix};
 pub use lu_parallel::{lu_parallel, lu_parallel_with};
 pub use matrix::Matrix;

@@ -60,7 +60,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::gemm::{auto_threads, packed_tile_update, GemmBlocking, MatView};
+use crate::gemm::{
+    auto_threads, packed_tile_update, selected_kernel, GemmBlocking, MatView, Microkernel,
+};
 use crate::lu::{permutation_sign, LuFactorization, SingularMatrix};
 use crate::matrix::Matrix;
 use crate::pool::{self, SyncPtr};
@@ -103,6 +105,10 @@ pub fn lu_parallel_with(
     }
     let threads = threads.max(1);
     let blk = GemmBlocking::tuned();
+    // Resolve the microkernel once per factorization so every trailing
+    // update (and hence the whole bitwise-deterministic result) uses one
+    // variant even if the process-wide selection is forced mid-call.
+    let krn = selected_kernel();
     let ld = n;
     let (mut abuf, mut bbuf) = (Vec::new(), Vec::new());
 
@@ -154,6 +160,7 @@ pub fn lu_parallel_with(
                                 hi,
                                 &l00,
                                 blk,
+                                krn,
                                 &mut ab,
                                 &mut bb,
                             )
@@ -180,6 +187,7 @@ pub fn lu_parallel_with(
                 next_k + kb2,
                 &l00,
                 blk,
+                krn,
                 &mut abuf,
                 &mut bbuf,
             )
@@ -210,7 +218,20 @@ pub fn lu_parallel_with(
                     // SAFETY: disjoint bands; L10/U01 band rows are not
                     // written by any other worker.
                     unsafe {
-                        band_update(ptr.get(), ld, m, k, kb, lo, hi, &l00, blk, &mut ab, &mut bb)
+                        band_update(
+                            ptr.get(),
+                            ld,
+                            m,
+                            k,
+                            kb,
+                            lo,
+                            hi,
+                            &l00,
+                            blk,
+                            krn,
+                            &mut ab,
+                            &mut bb,
+                        )
                     };
                 }
             });
@@ -305,6 +326,7 @@ unsafe fn band_update(
     hi: usize,
     l00: &Matrix,
     blk: GemmBlocking,
+    krn: &Microkernel,
     abuf: &mut Vec<f64>,
     bbuf: &mut Vec<f64>,
 ) {
@@ -330,7 +352,7 @@ unsafe fn band_update(
             let mh = blk.mc.min(m - next_k - i0);
             for j0 in (0..w).step_by(blk.nc) {
                 let nw = blk.nc.min(w - j0);
-                packed_tile_update(cptr, ld, -1.0, a, b, i0, mh, j0, nw, blk, abuf, bbuf);
+                packed_tile_update(cptr, ld, -1.0, a, b, i0, mh, j0, nw, blk, krn, abuf, bbuf);
             }
         }
     }

@@ -1,7 +1,10 @@
 //! Property-based tests of the dense linear algebra substrate.
 
 use denselin::cholesky::{cholesky_blocked, cholesky_residual, random_spd};
-use denselin::gemm::{gemm, gemm_blocked, gemm_parallel, gemm_reference, matmul, GemmBlocking};
+use denselin::gemm::{
+    gemm, gemm_blocked, gemm_blocked_with, gemm_emulated, gemm_parallel, gemm_parallel_with,
+    gemm_reference, matmul, microkernels, GemmBlocking,
+};
 use denselin::lu::{lu_blocked, lu_unblocked};
 use denselin::lu_parallel::lu_parallel_with;
 use denselin::matrix::Matrix;
@@ -108,6 +111,56 @@ proptest! {
         gemm(&mut serial, 1.0, &a, &b, 0.0);
         let mut parallel = Matrix::zeros(m, n);
         gemm_parallel(&mut parallel, 1.0, &a, &b, 0.0, threads);
+        prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn any_variant_any_shape_matches_emulator_bitwise(
+        kpick in 0usize..1000,
+        seed in 0u64..500,
+        m in 1usize..36,
+        k in 1usize..36,
+        n in 1usize..36,
+        kc in 1usize..40,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        // variant-indexed: kpick maps uniformly onto the supported subset
+        // of the registered table, so every microkernel shape — not just
+        // the dispatch default — is pinned to the scalar oracle bit for bit
+        let supported: Vec<_> = microkernels().iter().filter(|v| v.supported()).collect();
+        let krn = supported[kpick % supported.len()];
+        let a = rand_matrix(seed, m, k);
+        let b = rand_matrix(seed ^ 10, k, n);
+        let c0 = rand_matrix(seed ^ 11, m, n);
+        let blk = GemmBlocking { mc: 16, kc, nc: 24 };
+        let mut got = c0.clone();
+        gemm_blocked_with(&mut got, alpha, &a, &b, beta, blk, krn);
+        let mut want = c0;
+        gemm_emulated(&mut want, alpha, &a, &b, beta, kc, krn.fused);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn any_variant_parallel_is_bitwise_serial(
+        kpick in 0usize..1000,
+        seed in 0u64..500,
+        m in 1usize..48,
+        n in 1usize..48,
+        threads in 1usize..8,
+    ) {
+        // the tile queue stays order-preserving for every variant geometry,
+        // not just the default (mr, nr)
+        let supported: Vec<_> = microkernels().iter().filter(|v| v.supported()).collect();
+        let krn = supported[kpick % supported.len()];
+        let k = 13;
+        let a = rand_matrix(seed, m, k);
+        let b = rand_matrix(seed ^ 12, k, n);
+        let blk = GemmBlocking { mc: 12, kc: 5, nc: 16 };
+        let mut serial = Matrix::zeros(m, n);
+        gemm_blocked_with(&mut serial, 1.0, &a, &b, 0.0, blk, krn);
+        let mut parallel = Matrix::zeros(m, n);
+        gemm_parallel_with(&mut parallel, 1.0, &a, &b, 0.0, threads, blk, krn);
         prop_assert_eq!(serial.as_slice(), parallel.as_slice());
     }
 

@@ -1,0 +1,54 @@
+//! Happy-path persistence: a tuning record written for *this* host is
+//! consulted by the startup selection APIs.
+//!
+//! The consultation result is cached process-wide (`OnceLock`), so this
+//! binary holds exactly one test: the env var is set before the first
+//! touch of `persisted()` / `GemmBlocking::tuned()`, and the sibling
+//! integration binaries (`tuning_fallback`, `tuning_wrong_host`,
+//! `tuning_unsupported_kernel`) cover the fallback paths in their own
+//! processes.
+
+use denselin::gemm::{selected_kernel_with_source, GemmBlocking};
+use denselin::tune::{host_key, persisted, TuneSource, TuningFile, TuningRecord};
+
+#[test]
+fn persisted_record_drives_blocking_and_kernel_selection() {
+    let dir = std::env::temp_dir().join(format!("denselin-tune-happy-{}", std::process::id()));
+    let path = dir.join("tuning.toml");
+    std::env::set_var("DENSELIN_TUNING_FILE", &path);
+    std::env::remove_var("DENSELIN_GEMM_BLOCK");
+    std::env::remove_var("DENSELIN_GEMM_KERNEL");
+
+    let rec = TuningRecord {
+        host: host_key().to_string(),
+        kernel: "portable_8x4".to_string(),
+        blocking: GemmBlocking {
+            mc: 96,
+            kc: 192,
+            nc: 384,
+        },
+        threads: 2,
+        gflops: 5.5,
+    };
+    let mut file = TuningFile::default();
+    file.upsert(rec.clone());
+    file.store(&path).expect("store tuning file");
+
+    // Disk round-trip through the public load/lookup path.
+    let loaded = TuningFile::load(&path).expect("load tuning file");
+    assert_eq!(loaded.lookup(host_key()), Some(&rec));
+
+    // First consultation in this process: the record wins.
+    let got = persisted().expect("record for this host must be found");
+    assert_eq!(got, &rec);
+
+    let (blk, src) = GemmBlocking::tuned_with_source();
+    assert_eq!(src, TuneSource::Persisted);
+    assert_eq!(blk, rec.blocking);
+
+    let (krn, ksrc) = selected_kernel_with_source();
+    assert_eq!(ksrc, TuneSource::Persisted);
+    assert_eq!(krn.name, "portable_8x4");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

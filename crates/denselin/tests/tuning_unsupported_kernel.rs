@@ -1,0 +1,42 @@
+//! A tuning record for *this* host that names a kernel the process cannot
+//! run (here: one that does not exist in the table at all, which is how an
+//! unsupported-ISA name presents on this host) must fall back to the
+//! heuristic default — never dispatch a wrong or missing kernel. One test
+//! per binary: the selection caches are process-wide.
+
+use denselin::gemm::{selected_kernel_with_source, GemmBlocking};
+use denselin::tune::{host_key, persisted, TuneSource, TuningFile, TuningRecord};
+
+#[test]
+fn record_naming_unrunnable_kernel_is_ignored() {
+    let dir = std::env::temp_dir().join(format!("denselin-tune-unsup-{}", std::process::id()));
+    let path = dir.join("tuning.toml");
+    std::env::set_var("DENSELIN_TUNING_FILE", &path);
+    std::env::remove_var("DENSELIN_GEMM_BLOCK");
+    std::env::remove_var("DENSELIN_GEMM_KERNEL");
+
+    let mut file = TuningFile::default();
+    file.upsert(TuningRecord {
+        host: host_key().to_string(),
+        kernel: "future_16x16".to_string(),
+        blocking: GemmBlocking {
+            mc: 64,
+            kc: 64,
+            nc: 128,
+        },
+        threads: 1,
+        gflops: 123.0,
+    });
+    file.store(&path).unwrap();
+
+    assert!(
+        persisted().is_none(),
+        "a record naming an unrunnable kernel must be rejected whole"
+    );
+
+    let (krn, ksrc) = selected_kernel_with_source();
+    assert_eq!(ksrc, TuneSource::Heuristic);
+    assert!(krn.supported());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,7 +10,7 @@
 //! iteration — the sparse analogue of caching a dense LU factor.
 //!
 //! Everything downstream of the inputs is bitwise deterministic at any
-//! thread count (see [`crate::spmv`] and [`crate::trsv`]); dot products
+//! thread count (see [`crate::spmv()`] and [`crate::trsv`]); dot products
 //! are accumulated serially in index order for the same reason.
 
 use crate::csr::CsrMatrix;

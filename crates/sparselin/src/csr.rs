@@ -5,9 +5,9 @@
 //! sorted ascending and deduplicated. Sorted rows are load-bearing, not
 //! cosmetic — serial and parallel SpMV accumulate each row in the identical
 //! index order, which is what makes the parallel path bitwise reproducible
-//! at any thread count (see [`crate::spmv`]).
+//! at any thread count (see [`crate::spmv()`]).
 //!
-//! The generators mirror the verifier's dense [`MatrixClass`] philosophy:
+//! The generators mirror the verifier's dense `MatrixClass` philosophy:
 //! every pattern derives from one `u64` through an in-crate SplitMix64
 //! stream, so a corpus seed reproduces the identical matrix bits on every
 //! toolchain (no `rand` dependency).

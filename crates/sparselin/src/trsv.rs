@@ -14,7 +14,7 @@
 //! Determinism: a row's update loop reads only `x` entries finalized in
 //! earlier levels and accumulates in stored column order, so results are
 //! bitwise identical at every thread count, same contract as
-//! [`crate::spmv`].
+//! [`crate::spmv()`].
 
 use denselin::pool;
 

@@ -56,4 +56,5 @@ pub use report::FuzzSummary;
 pub use rng::SplitMix64;
 pub use scenario::{
     minimize, FaultSpec, Kernel, MatrixClass, Scenario, SparsePattern, SparsePrecond,
+    KERNEL_VARIANTS,
 };

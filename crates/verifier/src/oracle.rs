@@ -278,11 +278,92 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioReport {
 // LU
 // ---------------------------------------------------------------------------
 
+/// Serializes microkernel pinning against ordinary LU runs in the same
+/// process: forcing a variant flips the *process-wide* dispatch, so a
+/// pinned scenario takes the write side while unpinned scenarios (whose
+/// bitwise serial-vs-parallel contracts assume a stable selection) share
+/// the read side. Poisoning is ignored — the guard protects timing, not
+/// data.
+static UKERNEL_GATE: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
 fn run_lu(sc: &Scenario) -> Vec<CheckOutcome> {
     let n = sc.n();
     let a = matgen::matrix(sc.class, n, sc.mseed);
     let invs = default_invariants();
     let mut out = Vec::new();
+
+    // --- pinned microkernel dispatch --------------------------------------
+    let _shared;
+    let _exclusive;
+    let _force;
+    match sc.ukernel {
+        None => {
+            _shared = Some(
+                UKERNEL_GATE
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            _exclusive = None;
+            _force = None;
+        }
+        Some(name) => {
+            _shared = None;
+            _exclusive = Some(
+                UKERNEL_GATE
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            match denselin::force_kernel(name) {
+                Ok(guard) => {
+                    let krn = denselin::selected_kernel();
+                    out.push(CheckOutcome::from(
+                        "ukernel-dispatch",
+                        if krn.name == name {
+                            Ok(format!("forced `{name}` (mr={} nr={})", krn.mr, krn.nr))
+                        } else {
+                            Err(format!(
+                                "forced `{name}` but dispatch selected `{}`",
+                                krn.name
+                            ))
+                        },
+                    ));
+                    // With the variant pinned, tie the scenario to the
+                    // parity oracle directly: the public dispatch path must
+                    // reproduce the scalar emulator bit for bit on a probe
+                    // derived from the scenario's own matrix data.
+                    let blk = denselin::GemmBlocking::tuned();
+                    let pm = n.min(24);
+                    let pa = a.block(0, 0, pm, pm);
+                    let mut probe = Matrix::zeros(pm, pm);
+                    denselin::gemm(&mut probe, 1.0, &pa, &pa, 0.0);
+                    let mut emulated = Matrix::zeros(pm, pm);
+                    denselin::gemm_emulated(&mut emulated, 1.0, &pa, &pa, 0.0, blk.kc, krn.fused);
+                    out.push(CheckOutcome::from(
+                        "ukernel-gemm-parity",
+                        if probe.as_slice() == emulated.as_slice() {
+                            Ok(format!("`{name}` bitwise-matches emulator (kc={})", blk.kc))
+                        } else {
+                            Err(format!("`{name}` diverges from the scalar emulator"))
+                        },
+                    ));
+                    _force = Some(guard);
+                }
+                Err(e) if e.contains("not supported") => {
+                    // A corpus line from a wider-ISA host: skipping is the
+                    // contract (never a wrong kernel, never a failure).
+                    out.push(CheckOutcome::pass(
+                        "ukernel-dispatch",
+                        format!("skipped: {e}"),
+                    ));
+                    return out;
+                }
+                Err(e) => {
+                    out.push(CheckOutcome::fail("ukernel-dispatch", e));
+                    return out;
+                }
+            }
+        }
+    }
 
     // --- serial reference -------------------------------------------------
     let serial = match catch_unwind(AssertUnwindSafe(|| lu_blocked(&a, sc.v))) {

@@ -78,6 +78,25 @@ impl SparsePrecond {
     }
 }
 
+/// Every microkernel variant name the scenario DSL may pin via
+/// `ukernel=...`, across all architectures. Deliberately host-independent
+/// and spelled out statically: a corpus line written on an AVX-512 machine
+/// must still *decode* on any machine (the oracle skips variants the host
+/// cannot run), and `tests/oracle_smoke.rs` cross-checks that this list
+/// covers the entire registered `denselin` variant table — adding a
+/// microkernel without extending the fuzz surface fails that test.
+pub const KERNEL_VARIANTS: &[&str] = &[
+    "portable_4x4",
+    "portable_8x4",
+    "portable_6x8",
+    "portable_8x8",
+    "avx2_4x4",
+    "avx2_8x4",
+    "avx2_6x8",
+    "avx2_8x8",
+    "avx512_8x16",
+];
+
 /// Input-matrix family. The adversarial classes are the point: Tang's
 /// reexamination of COnfLUX (arXiv:2404.06713) found gaps that example
 /// matrices never hit.
@@ -175,6 +194,11 @@ pub struct Scenario {
     pub pattern: SparsePattern,
     /// Preconditioner ([`Kernel::Sparse`] only; `None` otherwise).
     pub precond: SparsePrecond,
+    /// Pinned GEMM microkernel variant ([`Kernel::Lu`] only): the oracle
+    /// forces this variant through the process-wide dispatch for the whole
+    /// differential run, so every variant — not just the host default —
+    /// gets fuzzed through the full LU contract battery.
+    pub ukernel: Option<&'static str>,
 }
 
 impl Scenario {
@@ -273,6 +297,15 @@ impl Scenario {
         } else {
             (SparsePattern::Banded, SparsePrecond::None)
         };
+        // Drawn last so every older field keeps its exact per-seed value:
+        // historical seeds reproduce the same workload, now sometimes with
+        // a pinned microkernel on top.
+        let mseed = r.next_u64();
+        let ukernel = if kernel == Kernel::Lu && r.below(3) == 0 {
+            Some(*r.choose(KERNEL_VARIANTS))
+        } else {
+            None
+        };
         Scenario {
             kernel,
             v,
@@ -280,11 +313,12 @@ impl Scenario {
             q,
             c,
             class,
-            mseed: r.next_u64(),
+            mseed,
             nrhs,
             faults,
             pattern,
             precond,
+            ukernel,
         }
     }
 
@@ -311,6 +345,9 @@ impl Scenario {
                 self.precond.token()
             ));
         }
+        if let Some(uk) = self.ukernel {
+            line.push_str(&format!(" ukernel={uk}"));
+        }
         line
     }
 
@@ -327,6 +364,7 @@ impl Scenario {
         let mut faults = FaultSpec::None;
         let mut pattern = SparsePattern::Banded;
         let mut precond = SparsePrecond::None;
+        let mut ukernel = None;
         for tok in line.split_whitespace() {
             let (key, val) = tok
                 .split_once('=')
@@ -366,6 +404,14 @@ impl Scenario {
                         "laplacian" => SparsePattern::Laplacian,
                         other => return Err(format!("unknown pattern `{other}`")),
                     }
+                }
+                "ukernel" => {
+                    ukernel = Some(
+                        *KERNEL_VARIANTS
+                            .iter()
+                            .find(|k| **k == val)
+                            .ok_or_else(|| format!("unknown ukernel `{val}`"))?,
+                    )
                 }
                 "precond" => {
                     precond = match val {
@@ -409,6 +455,7 @@ impl Scenario {
             faults,
             pattern,
             precond,
+            ukernel,
         };
         sc.validate()?;
         Ok(sc)
@@ -431,6 +478,12 @@ impl Scenario {
         {
             return Err(format!(
                 "pattern/precond only apply to kernel=sparse, not {}",
+                self.kernel.token()
+            ));
+        }
+        if self.ukernel.is_some() && self.kernel != Kernel::Lu {
+            return Err(format!(
+                "ukernel only applies to kernel=lu, not {}",
                 self.kernel.token()
             ));
         }
@@ -492,6 +545,13 @@ impl Scenario {
         if self.class != MatrixClass::Well {
             push(Scenario {
                 class: MatrixClass::Well,
+                ..self.clone()
+            });
+        }
+        // default microkernel dispatch
+        if self.ukernel.is_some() {
+            push(Scenario {
+                ukernel: None,
                 ..self.clone()
             });
         }
@@ -661,6 +721,61 @@ mod tests {
         assert_eq!(minimal.pattern, SparsePattern::Banded);
         assert_eq!(minimal.nrhs, 1);
         assert_eq!(minimal.class, MatrixClass::Well);
+    }
+
+    #[test]
+    fn ukernel_scenarios_cover_every_variant_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        let mut pinned = 0usize;
+        for seed in 0..5_000u64 {
+            let sc = Scenario::from_seed(seed);
+            match sc.ukernel {
+                Some(uk) => {
+                    assert_eq!(sc.kernel, Kernel::Lu, "ukernel on non-LU scenario");
+                    assert!(KERNEL_VARIANTS.contains(&uk));
+                    pinned += 1;
+                    seen.insert(uk);
+                    let line = sc.encode();
+                    assert!(line.contains("ukernel="));
+                    assert_eq!(Scenario::decode(&line).expect("decode"), sc);
+                }
+                None => assert!(!sc.encode().contains("ukernel=")),
+            }
+        }
+        // ~1/3 of the (4/7-weighted) LU scenarios pin a variant, and the
+        // sweep must reach every name in the table
+        assert!(pinned > 500, "only {pinned} pinned scenarios");
+        assert_eq!(
+            seen.len(),
+            KERNEL_VARIANTS.len(),
+            "variants never generated: {:?}",
+            KERNEL_VARIANTS
+                .iter()
+                .filter(|k| !seen.contains(*k))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ukernel_decode_validates_and_shrinking_drops_it() {
+        let sc = Scenario::decode(
+            "kernel=lu n=16 v=4 q=1 c=1 class=well mseed=3 nrhs=1 faults=none ukernel=portable_6x8",
+        )
+        .unwrap();
+        assert_eq!(sc.ukernel, Some("portable_6x8"));
+        // unknown variant names and non-LU kernels are corpus-hygiene errors
+        assert!(Scenario::decode(
+            "kernel=lu n=16 v=4 q=1 c=1 class=well faults=none ukernel=portable_3x3"
+        )
+        .is_err());
+        assert!(Scenario::decode(
+            "kernel=cholesky n=16 v=4 q=1 c=1 class=well faults=none ukernel=portable_8x4"
+        )
+        .is_err());
+        // shrinking falls back to the default dispatch
+        let (minimal, steps) = minimize(&sc, |_| true);
+        assert!(steps > 0);
+        assert_eq!(minimal.ukernel, None);
     }
 
     #[test]

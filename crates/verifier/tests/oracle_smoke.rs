@@ -75,6 +75,43 @@ fn sparse_scenarios_pass() {
 }
 
 #[test]
+fn every_microkernel_variant_passes_the_lu_oracle() {
+    // Exhaustive over the DSL's static variant list, not sampled: each
+    // name is pinned through a full differential LU run (forced dispatch,
+    // emulator parity probe, serial/parallel/orchestrated contracts).
+    // Variants the host cannot run take the documented skip path, which
+    // still must *pass*.
+    for uk in verifier::KERNEL_VARIANTS {
+        assert_passes(&format!(
+            "kernel=lu n=24 v=4 q=2 c=1 class=well mseed=31 nrhs=1 faults=none ukernel={uk}"
+        ));
+    }
+}
+
+#[test]
+fn variant_list_covers_the_registered_denselin_table() {
+    // The DSL's list is host-independent by design; the registered table
+    // is what actually dispatches. Adding a microkernel to denselin
+    // without extending the fuzz surface fails here.
+    for krn in denselin::microkernels() {
+        assert!(
+            verifier::KERNEL_VARIANTS.contains(&krn.name),
+            "denselin registers `{}` but scenario::KERNEL_VARIANTS cannot pin it",
+            krn.name
+        );
+    }
+    // And every pinnable name resolves: a stale list entry (renamed or
+    // removed kernel) would otherwise silently become a permanent skip.
+    #[cfg(target_arch = "x86_64")]
+    for uk in verifier::KERNEL_VARIANTS {
+        assert!(
+            denselin::microkernels().iter().any(|k| &k.name == uk),
+            "KERNEL_VARIANTS pins `{uk}` but denselin does not register it"
+        );
+    }
+}
+
+#[test]
 fn minimize_shrinks_to_the_failing_dimension() {
     // a synthetic predicate failing exactly on c > 1 must shrink away
     // everything else while keeping c > 1
